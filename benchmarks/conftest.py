@@ -1,0 +1,21 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs its experiment exactly once inside pytest-benchmark's
+timer (``pedantic(rounds=1)``): the *measured quantity* of interest is the
+virtual-time result printed to stdout, not the wall-clock time of the
+simulation, so repeating runs would only waste time (the simulator is
+deterministic).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_series(title: str, rows) -> None:
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("  " + row)

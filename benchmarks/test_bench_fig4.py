@@ -1,0 +1,69 @@
+"""Figure 4 — HTTP load balancer throughput/latency vs concurrent clients.
+
+Four panels: (a) throughput and (b) latency with persistent connections,
+(c)/(d) with non-persistent connections; systems FLICK, FLICK+mTCP,
+Apache, Nginx over 10 backends.  Shape assertions: FLICK above Nginx
+above Apache with persistent connections (paper ratios 1.4x / 2.2x);
+kernel-FLICK *below* Nginx non-persistent (no pooled backend connections)
+while FLICK+mTCP dominates everything; FLICK latency lowest.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.bench.testbeds import run_http_experiment
+
+SYSTEMS = ("flick-kernel", "flick-mtcp", "apache", "nginx")
+CLIENT_COUNTS = (100, 200, 400, 800, 1600)
+
+
+def _sweep(persistent, requests_per_client):
+    series = {}
+    for system in SYSTEMS:
+        series[system] = [
+            run_http_experiment(
+                system, n, persistent=persistent, mode="lb", cores=16,
+                requests_per_client=requests_per_client,
+            )
+            for n in CLIENT_COUNTS
+        ]
+    return series
+
+
+def _print(series, title):
+    rows = []
+    for system, points in series.items():
+        thr = " ".join(f"{p.throughput:7.1f}" for p in points)
+        lat = " ".join(f"{p.latency_ms:6.2f}" for p in points)
+        rows.append(f"{system:13s} thr[k/s]: {thr}")
+        rows.append(f"{system:13s} lat[ms]:  {lat}")
+    print_series(title + f" (clients: {CLIENT_COUNTS})", rows)
+
+
+def test_fig4ab_persistent(benchmark):
+    series = run_once(benchmark, _sweep, True, 30)
+    _print(series, "Figure 4a/4b — persistent connections")
+    peak = {s: max(p.throughput for p in pts) for s, pts in series.items()}
+    # 4a orderings and rough ratios (paper: 1.4x nginx, 2.2x apache).
+    assert peak["flick-kernel"] > peak["nginx"] > peak["apache"]
+    assert peak["flick-mtcp"] > peak["flick-kernel"]
+    assert peak["flick-kernel"] / peak["apache"] > 1.7
+    assert peak["flick-kernel"] / peak["nginx"] > 1.15
+    # 4b: FLICK latency at the highest concurrency is the lowest.
+    last = {s: pts[-1].latency_ms for s, pts in series.items()}
+    assert last["flick-mtcp"] <= min(last["apache"], last["nginx"])
+    assert last["flick-kernel"] <= last["apache"]
+
+
+def test_fig4cd_non_persistent(benchmark):
+    series = run_once(benchmark, _sweep, False, 6)
+    _print(series, "Figure 4c/4d — non-persistent connections")
+    peak = {s: max(p.throughput for p in pts) for s, pts in series.items()}
+    # 4c: kernel FLICK pays per-connection backend setup and trails
+    # Nginx; mTCP recovers the win by a wide margin (paper ~2.5x Nginx).
+    assert peak["flick-kernel"] < peak["nginx"]
+    assert peak["flick-mtcp"] > 2.0 * peak["nginx"]
+    assert peak["flick-mtcp"] > 2.0 * peak["apache"]
+    # 4d: mTCP-FLICK keeps the lowest latency at high concurrency.
+    last = {s: pts[-1].latency_ms for s, pts in series.items()}
+    assert last["flick-mtcp"] == min(last.values())

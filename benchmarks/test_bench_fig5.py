@@ -1,0 +1,66 @@
+"""Figure 5 — Memcached proxy throughput/latency vs CPU cores.
+
+Paper: FLICK-kernel peaks ~126k req/s around 8 cores; FLICK+mTCP keeps
+scaling to ~198k at 16; Moxi peaks at ~82k with 4 cores then *degrades*
+as threads contend, with rising latency.  128 closed-loop clients over
+persistent connections, 10 backends.
+
+Known deviation (recorded in EXPERIMENTS.md): our uniform per-op
+contention model lets kernel-FLICK keep gaining past 8 cores instead of
+plateauing; the kernel-vs-mTCP ordering and Moxi's peak-and-decline are
+reproduced.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.bench.testbeds import run_memcached_experiment
+
+CORES = (1, 2, 4, 8, 16)
+SYSTEMS = ("flick-kernel", "flick-mtcp", "moxi")
+
+
+def _sweep():
+    series = {}
+    for system in SYSTEMS:
+        series[system] = [
+            run_memcached_experiment(
+                system, cores, concurrency=128, requests_per_client=40
+            )
+            for cores in CORES
+        ]
+    return series
+
+
+def test_fig5_memcached_proxy(benchmark):
+    series = run_once(benchmark, _sweep)
+    rows = []
+    for system, points in series.items():
+        thr = " ".join(f"{p.throughput:7.1f}" for p in points)
+        lat = " ".join(f"{p.latency_ms:6.2f}" for p in points)
+        rows.append(f"{system:13s} thr[k/s]: {thr}")
+        rows.append(f"{system:13s} lat[ms]:  {lat}")
+    print_series(f"Figure 5 (cores: {CORES})", rows)
+
+    flick_k = {c: p for c, p in zip(CORES, series["flick-kernel"])}
+    flick_m = {c: p for c, p in zip(CORES, series["flick-mtcp"])}
+    moxi = {c: p for c, p in zip(CORES, series["moxi"])}
+
+    # 5a: mTCP scales through 16 cores and beats kernel there.
+    assert flick_m[16].throughput > flick_m[8].throughput
+    assert flick_m[16].throughput > flick_k[16].throughput
+    # mTCP's 16-core peak lands near the paper's 198k.
+    assert flick_m[16].throughput == pytest.approx(198, rel=0.25)
+    # Moxi peaks at 4 cores (~82k) and declines beyond.
+    moxi_peak_cores = max(CORES, key=lambda c: moxi[c].throughput)
+    assert moxi_peak_cores == 4
+    assert moxi[4].throughput == pytest.approx(82, rel=0.25)
+    assert moxi[16].throughput < moxi[4].throughput
+    # FLICK beats Moxi from 8 cores on.
+    assert flick_k[8].throughput > moxi[8].throughput
+
+    # 5b: latency falls with added cores up to each system's peak, and
+    # Moxi's latency *rises* past its 4-core peak.
+    assert flick_m[16].latency_ms < flick_m[1].latency_ms
+    assert moxi[16].latency_ms > moxi[4].latency_ms
+    assert flick_m[16].latency_ms < moxi[16].latency_ms

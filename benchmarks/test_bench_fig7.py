@@ -1,0 +1,74 @@
+"""Figure 7 — completion time of light vs heavy tasks under three
+scheduling policies (section 6.4).
+
+Paper: with 200 tasks (100 over 1 KB items, 100 over 16 KB items):
+
+* **cooperative** (FLICK): light tasks complete well before heavy ones
+  without increasing the overall runtime;
+* **round robin** (one item per schedule): light tasks are delayed by the
+  heavy tasks' long items and finish nearly with them;
+* **non-cooperative** (run to completion): completion is determined by
+  scheduling order, spreading light-task completions widely.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.bench.scheduling import run_scheduling_experiment
+
+POLICIES = ("cooperative", "non_cooperative", "round_robin")
+
+
+def _sweep():
+    return {
+        policy: run_scheduling_experiment(
+            policy, n_tasks=200, items_per_task=200, cores=16
+        )
+        for policy in POLICIES
+    }
+
+
+def test_fig7_scheduling_policies(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        f"{policy:16s} light={r.light_mean_ms:7.1f}ms "
+        f"heavy={r.heavy_mean_ms:7.1f}ms makespan={r.makespan_ms:7.1f}ms"
+        for policy, r in results.items()
+    ]
+    print_series("Figure 7 (virtual ms)", rows)
+
+    coop = results["cooperative"]
+    noncoop = results["non_cooperative"]
+    rr = results["round_robin"]
+
+    # Cooperative: light tasks finish far ahead of heavy ones...
+    assert coop.light_mean_ms < coop.heavy_mean_ms / 4
+    # ...without increasing total runtime relative to the alternatives.
+    assert coop.makespan_ms <= 1.1 * min(noncoop.makespan_ms, rr.makespan_ms)
+
+    # Round robin: heavy items hog workers, light tasks finish nearly
+    # with the heavy ones.
+    assert rr.light_mean_ms > 0.8 * rr.heavy_mean_ms
+    assert rr.light_mean_ms > 5 * coop.light_mean_ms
+
+    # Non-cooperative: order-determined completion — light tasks do
+    # better than round robin but far worse than cooperative.
+    assert coop.light_mean_ms < noncoop.light_mean_ms < rr.light_mean_ms
+
+
+def test_fig7_timeslice_matters(benchmark):
+    """Sanity: an absurdly large timeslice degenerates cooperative
+    scheduling towards non-cooperative behaviour for light tasks."""
+    def sweep():
+        small = run_scheduling_experiment(
+            "cooperative", n_tasks=80, items_per_task=120, cores=8,
+            timeslice_us=50.0,
+        )
+        huge = run_scheduling_experiment(
+            "cooperative", n_tasks=80, items_per_task=120, cores=8,
+            timeslice_us=1e7,
+        )
+        return small, huge
+
+    small, huge = run_once(benchmark, sweep)
+    assert small.light_mean_ms < huge.light_mean_ms

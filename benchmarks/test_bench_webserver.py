@@ -1,0 +1,67 @@
+"""E1 — §6.3 in-text static web server numbers.
+
+Paper (16 cores): persistent — FLICK 306k, FLICK+mTCP 380k, Apache 159k,
+Nginx 217k requests/s; non-persistent — FLICK 45k, FLICK+mTCP 193k,
+Apache 35k, Nginx 44k.  Shape assertions: the orderings above.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.bench.testbeds import run_http_experiment
+
+PAPER_PERSISTENT = {
+    "flick-kernel": 306, "flick-mtcp": 380, "apache": 159, "nginx": 217,
+}
+PAPER_NONPERSISTENT = {
+    "flick-kernel": 45, "flick-mtcp": 193, "apache": 35, "nginx": 44,
+}
+SYSTEMS = tuple(PAPER_PERSISTENT)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_webserver_persistent(benchmark, system):
+    result = run_once(
+        benchmark, run_http_experiment, system, 400,
+        persistent=True, mode="web", cores=16, requests_per_client=40,
+    )
+    print_series(
+        "E1 persistent web server",
+        [f"{system}: measured {result.throughput:.0f}k req/s "
+         f"(paper {PAPER_PERSISTENT[system]}k)"],
+    )
+    # Within +-25% of the paper's absolute number.
+    assert result.throughput == pytest.approx(
+        PAPER_PERSISTENT[system], rel=0.25
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_webserver_non_persistent(benchmark, system):
+    result = run_once(
+        benchmark, run_http_experiment, system, 400,
+        persistent=False, mode="web", cores=16, requests_per_client=8,
+    )
+    print_series(
+        "E1 non-persistent web server",
+        [f"{system}: measured {result.throughput:.0f}k req/s "
+         f"(paper {PAPER_NONPERSISTENT[system]}k)"],
+    )
+    assert result.throughput == pytest.approx(
+        PAPER_NONPERSISTENT[system], rel=0.30
+    )
+
+
+def test_webserver_orderings(benchmark):
+    """The who-beats-whom structure of §6.3 in one run set."""
+    def sweep():
+        out = {}
+        for system in SYSTEMS:
+            out[system] = run_http_experiment(
+                system, 400, persistent=True, mode="web", cores=16,
+                requests_per_client=30,
+            ).throughput
+        return out
+
+    thr = run_once(benchmark, sweep)
+    assert thr["flick-mtcp"] > thr["flick-kernel"] > thr["nginx"] > thr["apache"]

@@ -1,0 +1,1 @@
+"""The paper's three application-specific network services, in FLICK."""

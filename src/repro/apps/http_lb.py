@@ -1,0 +1,122 @@
+"""HTTP load balancer and static web server use cases (sections 2.1, 6.1).
+
+Both services are written in the FLICK language and compiled through the
+full front end.  The load balancer hashes the connection 4-tuple to pick
+a backend; because a task graph is per-connection and the hash input is
+connection-stable, subsequent requests stick to the same backend, and
+responses flow back unparsed (the raw fast path), matching Figure 3a.
+
+The static web server variant answers every request with a fixed 137-byte
+payload — the paper's backend-free configuration used to measure the
+platform itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.grammar.protocols import http
+from repro.lang.compiler import CompiledProgram, compile_source
+from repro.lang.values import Record
+from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget
+
+#: The fixed response body used by the static web experiments (137 bytes,
+#: §6.3: "small HTTP payloads (137 bytes each)").
+STATIC_BODY = (b"FLICK static response. " * 6)[:137]
+
+HTTP_LB_SOURCE = """
+type http_req: record
+    method : string
+    path : string
+
+type http_resp: record
+    status : integer
+    body : string
+
+type conn_info: record
+    src : string
+    dst : string
+
+proc HttpBalancer: (http_req/http_resp client, [http_resp/http_req] backends, info: conn_info)
+    client => forward(info, backends)
+    backends => client
+
+fun forward: (info: conn_info, [-/http_req] backends, req: http_req) -> ()
+    let target = hash(concat(info.src, info.dst)) mod len(backends)
+    req => backends[target]
+"""
+
+STATIC_WEB_SOURCE = """
+type http_req: record
+    method : string
+    path : string
+
+type http_resp: record
+    status : integer
+    body : string
+
+proc StaticWeb: (http_req/http_resp client)
+    client => respond() => client
+
+fun respond: (req: http_req) -> (http_resp)
+    http_resp(200, "%BODY%")
+"""
+
+
+def compile_http_lb() -> CompiledProgram:
+    """Compile the load-balancer program."""
+    return compile_source(HTTP_LB_SOURCE, "<http_lb.flick>")
+
+
+def compile_static_web() -> CompiledProgram:
+    """Compile the static web server program (body embedded as a literal)."""
+    source = STATIC_WEB_SOURCE.replace(
+        "%BODY%", STATIC_BODY.decode("ascii").replace('"', "'")
+    )
+    return compile_source(source, "<static_web.flick>")
+
+
+def _serialize_http_resp(record: Record):
+    """Serialise a response record, completing FLICK-constructed ones."""
+    if "version" in record:
+        return http.serialize(record)
+    body = record.body
+    if isinstance(body, str):
+        body = body.encode("latin-1")
+    full = http.make_response(status=record.status, body=body)
+    return http.serialize(full)
+
+
+def http_codec_registry() -> CodecRegistry:
+    """Registry wiring FLICK's http_req/http_resp types to the HTTP codec."""
+    registry = CodecRegistry()
+    registry.register_parser("http_req", http.HttpRequestParser)
+    registry.register_parser("http_resp", http.HttpResponseParser)
+    registry.register_serializer("http_req", http.serialize)
+    registry.register_serializer("http_resp", _serialize_http_resp)
+    return registry
+
+
+def make_conn_info(socket) -> Dict[str, object]:
+    """Per-connection value parameters: the hashable connection identity."""
+    return {
+        "info": Record(
+            "conn_info",
+            {
+                "src": f"{socket.host.name}:{socket.conn_id}",
+                "dst": f"{socket.peer.host.name}:80",
+            },
+        )
+    }
+
+
+def lb_bindings(backend_targets: List[OutboundTarget]) -> Bindings:
+    """Bindings for the load balancer: outbound backends + conn info."""
+    return Bindings(
+        outbound={"backends": backend_targets},
+        value_params=make_conn_info,
+    )
+
+
+def static_web_bindings() -> Bindings:
+    return Bindings()

@@ -1,0 +1,1 @@
+"""Calibrated cost-model baselines: Apache, Nginx, Moxi."""

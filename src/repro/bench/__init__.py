@@ -1,0 +1,1 @@
+"""Benchmark harness: testbeds and experiments for every paper figure."""

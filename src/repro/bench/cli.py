@@ -1,0 +1,163 @@
+"""Command-line entry point: regenerate any figure from the paper.
+
+Usage::
+
+    python -m repro.bench e1          # §6.3 web server numbers
+    python -m repro.bench fig4        # HTTP LB sweep (slow)
+    python -m repro.bench fig5        # Memcached proxy vs cores
+    python -m repro.bench fig6        # Hadoop aggregator vs cores
+    python -m repro.bench fig7        # scheduling policies
+    python -m repro.bench all --quick # everything, reduced sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench.report import format_series_chart, results_to_series, summarize
+from repro.bench.scheduling import run_scheduling_experiment
+from repro.bench.testbeds import (
+    run_hadoop_experiment,
+    run_http_experiment,
+    run_memcached_experiment,
+)
+
+
+def _e1(quick: bool) -> None:
+    reqs = 20 if quick else 40
+    print("== E1: §6.3 static web server (16 cores) ==")
+    results = {}
+    for persistent in (True, False):
+        label = "persistent" if persistent else "non-persistent"
+        results[label] = {
+            system: [
+                run_http_experiment(
+                    system, 400, persistent=persistent, mode="web",
+                    cores=16, requests_per_client=reqs if persistent else 6,
+                )
+            ]
+            for system in ("flick-kernel", "flick-mtcp", "apache", "nginx")
+        }
+        print(f"\n-- {label} --")
+        print(summarize(results[label]))
+
+
+def _fig4(quick: bool) -> None:
+    counts = (100, 400) if quick else (100, 200, 400, 800, 1600)
+    print("== Figure 4: HTTP load balancer ==")
+    for persistent in (True, False):
+        label = "persistent" if persistent else "non-persistent"
+        results = {
+            system: [
+                run_http_experiment(
+                    system, n, persistent=persistent, mode="lb", cores=16,
+                    requests_per_client=20 if persistent else 5,
+                )
+                for n in counts
+            ]
+            for system in ("flick-kernel", "flick-mtcp", "apache", "nginx")
+        }
+        print(f"\n-- {label} (clients: {counts}) --")
+        print(summarize(results))
+        print()
+        print(format_series_chart(
+            results_to_series(results), counts, unit="k"
+        ))
+
+
+def _fig5(quick: bool) -> None:
+    cores = (2, 8) if quick else (1, 2, 4, 8, 16)
+    print(f"== Figure 5: Memcached proxy (cores: {cores}) ==")
+    results = {
+        system: [
+            run_memcached_experiment(
+                system, c, concurrency=64 if quick else 128,
+                requests_per_client=20 if quick else 40,
+            )
+            for c in cores
+        ]
+        for system in ("flick-kernel", "flick-mtcp", "moxi")
+    }
+    print(summarize(results))
+    print()
+    print(format_series_chart(results_to_series(results), cores, unit="k"))
+
+
+def _fig6(quick: bool) -> None:
+    cores = (2, 8) if quick else (1, 2, 4, 8, 16)
+    lengths = (8,) if quick else (8, 12, 16)
+    print(f"== Figure 6: Hadoop aggregator (cores: {cores}) ==")
+    results = {
+        f"WC {wl} char": [
+            run_hadoop_experiment(
+                c, word_len=wl, data_kb_per_mapper=32 if quick else 64
+            )
+            for c in cores
+        ]
+        for wl in lengths
+    }
+    print(summarize(results))
+    print()
+    print(format_series_chart(results_to_series(results), cores, unit="Mb/s"))
+
+
+def _fig7(quick: bool) -> None:
+    n = 80 if quick else 200
+    items = 100 if quick else 200
+    print(f"== Figure 7: scheduling policies ({n} tasks) ==")
+    from repro.bench.report import format_table
+
+    rows = []
+    for policy in ("cooperative", "non_cooperative", "round_robin"):
+        r = run_scheduling_experiment(policy, n_tasks=n, items_per_task=items)
+        rows.append(
+            (
+                policy,
+                f"{r.light_mean_ms:.1f}",
+                f"{r.heavy_mean_ms:.1f}",
+                f"{r.makespan_ms:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("policy", "light_mean_ms", "heavy_mean_ms", "makespan_ms"), rows
+        )
+    )
+
+
+_TARGETS = {
+    "e1": _e1,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_TARGETS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workload sizes for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+    targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        _TARGETS[name](args.quick)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

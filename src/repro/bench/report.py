@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results: tables and ASCII charts.
+
+Used by the ``python -m repro.bench`` CLI to print figure-shaped output
+(one line per plotted series) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.stats import RunResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a left-aligned text table."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    series: Dict[str, List[float]],
+    x_labels: Sequence[object],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar chart row per (series, x) point.
+
+    Bars are scaled to the global maximum, so relative magnitudes — the
+    thing the paper's figures communicate — are visible at a glance.
+    """
+    peak = max(
+        (v for values in series.values() for v in values), default=0.0
+    )
+    if peak <= 0:
+        return "(no data)"
+    lines = []
+    for name, values in series.items():
+        for x, value in zip(x_labels, values):
+            bar = "#" * max(1, int(round(width * value / peak)))
+            lines.append(
+                f"{name:>14s} x={str(x):<5s} {value:10.1f}{unit} {bar}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def results_to_series(
+    results: Dict[str, List[RunResult]], field: str = "throughput"
+) -> Dict[str, List[float]]:
+    """Extract one metric from per-system result lists."""
+    return {
+        system: [getattr(point, field) for point in points]
+        for system, points in results.items()
+    }
+
+
+def summarize(results: Dict[str, List[RunResult]]) -> str:
+    """A compact table of throughput and latency per system/x."""
+    rows = []
+    for system, points in results.items():
+        for point in points:
+            rows.append(
+                (
+                    system,
+                    f"{point.x:g}",
+                    f"{point.throughput:.1f}",
+                    f"{point.latency_ms:.3f}",
+                )
+            )
+    return format_table(
+        ("system", "x", "throughput", "latency_ms"), rows
+    )

@@ -1,0 +1,55 @@
+"""Small deterministic id generators and stable hashing.
+
+Python's built-in ``hash`` for ``str`` is salted per process, which would
+make simulated runs non-deterministic.  The runtime and the compiled FLICK
+``hash`` builtin both use :func:`stable_hash` instead (FNV-1a, 64-bit),
+so request routing is reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(data) -> int:
+    """Return a deterministic 64-bit FNV-1a hash of ``data``.
+
+    Accepts ``bytes``, ``str`` (UTF-8 encoded), ``int`` and tuples of those;
+    this covers everything FLICK programs are allowed to hash.
+    """
+    if isinstance(data, tuple):
+        h = _FNV_OFFSET
+        for part in data:
+            h = (h ^ stable_hash(part)) * _FNV_PRIME & _MASK64
+        return h
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    elif isinstance(data, int):
+        data = data.to_bytes(8, "little", signed=True)
+    elif isinstance(data, bool):  # pragma: no cover - bool is int subclass
+        data = bytes([int(data)])
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"stable_hash does not support {type(data).__name__}")
+    h = _FNV_OFFSET
+    for byte in bytes(data):
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h
+
+
+class IdAllocator:
+    """Monotonically increasing integer ids with a readable prefix."""
+
+    def __init__(self, prefix: str = "id"):
+        self._prefix = prefix
+        self._counter: Iterator[int] = itertools.count()
+
+    def next_int(self) -> int:
+        return next(self._counter)
+
+    def next_id(self) -> str:
+        return f"{self._prefix}-{next(self._counter)}"

@@ -1,0 +1,40 @@
+"""Message grammars: model, DSL front end, codec engine, protocol library."""
+
+from repro.grammar.dsl import parse_grammar, parse_unit
+from repro.grammar.engine import IncrementalUnitParser, UnitCodec, make_codec
+from repro.grammar.model import (
+    BIG,
+    Binary,
+    Const,
+    ConstField,
+    DataField,
+    Field,
+    FieldRef,
+    IntField,
+    LITTLE,
+    SelfRef,
+    Unit,
+    VarField,
+    eval_expr,
+)
+
+__all__ = [
+    "parse_grammar",
+    "parse_unit",
+    "IncrementalUnitParser",
+    "UnitCodec",
+    "make_codec",
+    "BIG",
+    "Binary",
+    "Const",
+    "ConstField",
+    "DataField",
+    "Field",
+    "FieldRef",
+    "IntField",
+    "LITTLE",
+    "SelfRef",
+    "Unit",
+    "VarField",
+    "eval_expr",
+]

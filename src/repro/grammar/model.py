@@ -1,0 +1,249 @@
+"""Declarative message-grammar model (Spicy-style, section 4.2).
+
+A :class:`Unit` describes the wire format of one message type as an
+ordered sequence of fields:
+
+* :class:`IntField` — fixed-size (1/2/4/8 byte) integer, signed or not,
+  in the unit's byte order;
+* :class:`DataField` — byte string whose length is either constant or an
+  expression over previously parsed fields (``key : string &length =
+  self.key_len``); decoded as ``str`` or kept as ``bytes``;
+* :class:`VarField` — a *computed* value: no bytes on the wire, derived
+  during parsing by ``parse_expr`` and driving other fields during
+  serialisation through ``serialize_target``/``serialize_expr``
+  (Listing 2's ``value_len`` / ``total_len`` pattern);
+* :class:`ConstField` — a fixed byte literal (magic numbers, delimiters).
+
+Length expressions use the small arithmetic language below
+(:class:`Const`, :class:`FieldRef`, :class:`Binary`) so that grammars are
+data, not code — the engine compiles them to closures once per grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.errors import GrammarError
+
+BIG = "big"
+LITTLE = "little"
+
+_INT_SIZES = (1, 2, 4, 8)
+
+
+# ---------------------------------------------------------------------------
+# Size / value expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SizeExpr:
+    """Base class for grammar arithmetic expressions."""
+
+
+@dataclass(frozen=True)
+class Const(SizeExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FieldRef(SizeExpr):
+    """``self.<name>`` — the parsed value of an earlier field."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SelfRef(SizeExpr):
+    """``$$`` — the value of the field owning the expression."""
+
+
+@dataclass(frozen=True)
+class Binary(SizeExpr):
+    op: str  # '+', '-', '*'
+    left: SizeExpr
+    right: SizeExpr
+
+
+def eval_expr(expr: SizeExpr, values: Dict[str, int], own: Optional[int] = None) -> int:
+    """Evaluate a grammar expression over parsed field ``values``."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, FieldRef):
+        try:
+            return values[expr.name]
+        except KeyError:
+            raise GrammarError(
+                f"expression references field {expr.name!r} before it is "
+                "available"
+            ) from None
+    if isinstance(expr, SelfRef):
+        if own is None:
+            raise GrammarError("'$$' used outside a field context")
+        return own
+    if isinstance(expr, Binary):
+        left = eval_expr(expr.left, values, own)
+        right = eval_expr(expr.right, values, own)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        raise GrammarError(f"unknown grammar operator {expr.op!r}")
+    raise GrammarError(f"unknown grammar expression {expr!r}")
+
+
+def referenced_fields(expr: Optional[SizeExpr]) -> Tuple[str, ...]:
+    """All field names mentioned by ``expr`` (deterministic order)."""
+    if expr is None:
+        return ()
+    if isinstance(expr, FieldRef):
+        return (expr.name,)
+    if isinstance(expr, Binary):
+        seen = []
+        for name in referenced_fields(expr.left) + referenced_fields(expr.right):
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Fields
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Field:
+    """Base class for unit fields."""
+
+    name: Optional[str]  # None = anonymous padding (the listings' '_')
+
+    @property
+    def anonymous(self) -> bool:
+        return self.name is None
+
+
+@dataclass(frozen=True)
+class IntField(Field):
+    size: int = 4
+    signed: bool = False
+
+    def __post_init__(self):
+        if self.size not in _INT_SIZES:
+            raise GrammarError(
+                f"integer field {self.name!r}: size must be one of "
+                f"{_INT_SIZES}, got {self.size}"
+            )
+
+
+@dataclass(frozen=True)
+class DataField(Field):
+    """Bytes/string payload with constant or computed length."""
+
+    length: Union[SizeExpr, int] = 0
+    text: bool = False  # decode as UTF-8 str (FLICK 'string') vs bytes
+
+    def length_expr(self) -> SizeExpr:
+        if isinstance(self.length, int):
+            return Const(self.length)
+        return self.length
+
+
+@dataclass(frozen=True)
+class VarField(Field):
+    """Computed field: parsed via an expression, optionally back-writing
+    another field at serialisation time.
+
+    ``parse_expr`` yields the field's value from earlier fields.
+    ``serialize_target``/``serialize_expr`` implement Listing 2's
+    ``&serialize = self.total_len = ... + $$`` form: when serialising,
+    ``serialize_target`` is assigned ``serialize_expr`` with ``$$`` bound
+    to this var's own (recomputed) value.
+    """
+
+    parse_expr: Optional[SizeExpr] = None
+    serialize_target: Optional[str] = None
+    serialize_expr: Optional[SizeExpr] = None
+
+
+@dataclass(frozen=True)
+class ConstField(Field):
+    value: bytes = b""
+
+
+# ---------------------------------------------------------------------------
+# Units
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A complete message grammar."""
+
+    name: str
+    fields: Tuple[Field, ...]
+    byteorder: str = BIG
+
+    def __post_init__(self):
+        if self.byteorder not in (BIG, LITTLE):
+            raise GrammarError(f"unknown byte order {self.byteorder!r}")
+        seen = set()
+        available = set()
+        for f in self.fields:
+            if f.name is not None:
+                if f.name in seen:
+                    raise GrammarError(
+                        f"unit {self.name!r}: duplicate field {f.name!r}"
+                    )
+                seen.add(f.name)
+            for expr in self._exprs_of(f):
+                for ref in referenced_fields(expr):
+                    if ref not in available:
+                        raise GrammarError(
+                            f"unit {self.name!r}: field {f.name!r} references "
+                            f"{ref!r} before it is parsed"
+                        )
+            if f.name is not None:
+                available.add(f.name)
+        if not self.fields:
+            raise GrammarError(f"unit {self.name!r} has no fields")
+
+    @staticmethod
+    def _exprs_of(f: Field):
+        if isinstance(f, DataField) and isinstance(f.length, SizeExpr):
+            yield f.length
+        if isinstance(f, VarField):
+            if f.parse_expr is not None:
+                yield f.parse_expr
+            # serialize_expr may reference later fields via $$; validated
+            # at serialisation time instead.
+
+    def field_named(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def named_fields(self) -> Tuple[Field, ...]:
+        return tuple(f for f in self.fields if f.name is not None)
+
+    def structural_fields(self) -> frozenset:
+        """Fields whose *values* are required to locate message boundaries
+        or to drive serialisation: anything referenced by a length or var
+        expression.  These are always decoded, even by specialised
+        parsers."""
+        needed = set()
+        for f in self.fields:
+            if isinstance(f, DataField) and isinstance(f.length, SizeExpr):
+                needed.update(referenced_fields(f.length))
+            if isinstance(f, VarField):
+                needed.update(referenced_fields(f.parse_expr))
+                needed.update(referenced_fields(f.serialize_expr))
+                if f.serialize_target is not None:
+                    needed.add(f.serialize_target)
+                if f.name is not None:
+                    needed.add(f.name)
+        return frozenset(needed)

@@ -1,0 +1,1 @@
+"""Reusable protocol grammars: HTTP, Memcached binary, Hadoop key/value."""

@@ -1,0 +1,267 @@
+"""HTTP/1.1 request/response codec.
+
+HTTP's head is line-oriented rather than length-prefixed, so this codec is
+hand-written (the paper ships reusable grammars for common protocols;
+text-protocol support corresponds to the grammar language's "text based
+formats").  It presents exactly the same incremental interface as the
+generated binary parsers — ``feed`` / ``poll`` / ``messages`` /
+``take_ops`` — so input/output tasks treat all protocols uniformly.
+
+Only the subset exercised by the evaluation is implemented: request line,
+status line, headers, fixed ``Content-Length`` bodies, and persistent
+vs ``Connection: close`` semantics.  A request with no Content-Length has
+an empty body; chunked transfer encoding is rejected explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ParseError
+from repro.grammar.engine import (
+    OPS_PER_DECODED_BYTE,
+    OPS_PER_FIELD,
+    OPS_PER_RAW_COPY_BYTE,
+)
+from repro.lang.values import Record
+
+_CRLF = b"\r\n"
+_HEAD_END = b"\r\n\r\n"
+_MAX_HEAD = 64 * 1024
+
+REQUEST_TYPE = "http_req"
+RESPONSE_TYPE = "http_resp"
+
+
+class _HttpParserBase:
+    """Incremental head+body parser shared by requests and responses."""
+
+    record_type = ""
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._head: Optional[Tuple] = None  # parsed head awaiting body
+        self._body_len = 0
+        self.ops = 0.0
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+        if len(self._buf) > _MAX_HEAD and self._head is None:
+            if _HEAD_END not in self._buf:
+                raise ParseError("HTTP head exceeds maximum size")
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def take_ops(self) -> float:
+        ops, self.ops = self.ops, 0.0
+        return ops
+
+    def poll(self) -> Optional[Record]:
+        if self._head is None:
+            end = self._buf.find(_HEAD_END)
+            if end < 0:
+                return None
+            head_bytes = bytes(self._buf[: end + len(_HEAD_END)])
+            self._head = self._parse_head(head_bytes)
+            self._body_len = self._content_length(self._head[-1])
+            del self._buf[: end + len(_HEAD_END)]
+            self.ops += OPS_PER_FIELD * 4 + len(head_bytes) * OPS_PER_DECODED_BYTE
+        if len(self._buf) < self._body_len:
+            return None
+        body = bytes(self._buf[: self._body_len])
+        del self._buf[: self._body_len]
+        self.ops += OPS_PER_FIELD + len(body) * OPS_PER_RAW_COPY_BYTE
+        head, self._head = self._head, None
+        record = self._make_record(head, body)
+        record.raw = self._render(record)
+        return record
+
+    def messages(self) -> Iterator[Record]:
+        while True:
+            record = self.poll()
+            if record is None:
+                return
+            yield record
+
+    @staticmethod
+    def _content_length(headers: Dict[str, str]) -> int:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            raise ParseError("chunked transfer encoding is not supported")
+        try:
+            return int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ParseError("malformed Content-Length header") from None
+
+    @staticmethod
+    def _parse_headers(lines: List[bytes]) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        for line in lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(b":")
+            if not sep:
+                raise ParseError(f"malformed header line {line!r}")
+            headers[name.strip().decode("latin-1").lower()] = (
+                value.strip().decode("latin-1")
+            )
+        return headers
+
+    # Subclass hooks -------------------------------------------------------
+
+    def _parse_head(self, head: bytes) -> Tuple:
+        raise NotImplementedError
+
+    def _make_record(self, head: Tuple, body: bytes) -> Record:
+        raise NotImplementedError
+
+    def _render(self, record: Record) -> bytes:
+        raise NotImplementedError
+
+
+class HttpRequestParser(_HttpParserBase):
+    record_type = REQUEST_TYPE
+
+    def _parse_head(self, head: bytes) -> Tuple:
+        lines = head[: -len(_HEAD_END)].split(_CRLF)
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise ParseError(f"malformed request line {lines[0]!r}")
+        method, path, version = (p.decode("latin-1") for p in parts)
+        if not version.startswith("HTTP/"):
+            raise ParseError(f"malformed HTTP version {version!r}")
+        return method, path, version, self._parse_headers(lines[1:])
+
+    def _make_record(self, head: Tuple, body: bytes) -> Record:
+        method, path, version, headers = head
+        return Record(
+            REQUEST_TYPE,
+            {
+                "method": method,
+                "path": path,
+                "version": version,
+                "headers": headers,
+                "body": body,
+            },
+        )
+
+    def _render(self, record: Record) -> bytes:
+        return render_request(record)
+
+
+class HttpResponseParser(_HttpParserBase):
+    record_type = RESPONSE_TYPE
+
+    def _parse_head(self, head: bytes) -> Tuple:
+        lines = head[: -len(_HEAD_END)].split(_CRLF)
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2:
+            raise ParseError(f"malformed status line {lines[0]!r}")
+        version = parts[0].decode("latin-1")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise ParseError(f"malformed status code {parts[1]!r}") from None
+        reason = parts[2].decode("latin-1") if len(parts) == 3 else ""
+        return version, status, reason, self._parse_headers(lines[1:])
+
+    def _make_record(self, head: Tuple, body: bytes) -> Record:
+        version, status, reason, headers = head
+        return Record(
+            RESPONSE_TYPE,
+            {
+                "version": version,
+                "status": status,
+                "reason": reason,
+                "headers": headers,
+                "body": body,
+            },
+        )
+
+    def _render(self, record: Record) -> bytes:
+        return render_response(record)
+
+
+# ---------------------------------------------------------------------------
+# Constructors and serialisers
+# ---------------------------------------------------------------------------
+
+
+def make_request(
+    method: str,
+    path: str,
+    headers: Optional[Dict[str, str]] = None,
+    body: bytes = b"",
+    keep_alive: bool = True,
+) -> Record:
+    hdrs = {k.lower(): v for k, v in (headers or {}).items()}
+    hdrs.setdefault("host", "flick.test")
+    if body:
+        hdrs["content-length"] = str(len(body))
+    if not keep_alive:
+        hdrs["connection"] = "close"
+    record = Record(
+        REQUEST_TYPE,
+        {
+            "method": method,
+            "path": path,
+            "version": "HTTP/1.1",
+            "headers": hdrs,
+            "body": body,
+        },
+    )
+    record.raw = render_request(record)
+    return record
+
+
+def make_response(
+    status: int = 200,
+    reason: str = "OK",
+    headers: Optional[Dict[str, str]] = None,
+    body: bytes = b"",
+) -> Record:
+    hdrs = {k.lower(): v for k, v in (headers or {}).items()}
+    hdrs["content-length"] = str(len(body))
+    record = Record(
+        RESPONSE_TYPE,
+        {
+            "version": "HTTP/1.1",
+            "status": status,
+            "reason": reason,
+            "headers": hdrs,
+            "body": body,
+        },
+    )
+    record.raw = render_response(record)
+    return record
+
+
+def render_request(record: Record) -> bytes:
+    head = f"{record.method} {record.path} {record.version}\r\n"
+    head += "".join(f"{k}: {v}\r\n" for k, v in record.headers.items())
+    return head.encode("latin-1") + _CRLF + record.body
+
+
+def render_response(record: Record) -> bytes:
+    head = f"{record.version} {record.status} {record.reason}\r\n"
+    head += "".join(f"{k}: {v}\r\n" for k, v in record.headers.items())
+    return head.encode("latin-1") + _CRLF + record.body
+
+
+def serialize(record: Record) -> Tuple[bytes, float]:
+    """Serialise an HTTP record; raw fast path when unmodified."""
+    if record.raw is not None and not record.dirty:
+        return record.raw, len(record.raw) * OPS_PER_RAW_COPY_BYTE
+    if record.type_name == REQUEST_TYPE:
+        data = render_request(record)
+    else:
+        data = render_response(record)
+    return data, OPS_PER_FIELD * 4 + len(data) * OPS_PER_DECODED_BYTE
+
+
+def wants_keep_alive(record: Record) -> bool:
+    """Connection persistence per RFC 2616 section 8.1."""
+    connection = record.headers.get("connection", "").lower()
+    if record.version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"

@@ -1,0 +1,44 @@
+"""The FLICK language front end: lexer, parser, checkers and compiler."""
+
+from repro.lang.compiler import (
+    CompiledProgram,
+    EndpointSpec,
+    FoldTHandler,
+    FoldTPlan,
+    ProcSpec,
+    RuleHandler,
+    RuleSpec,
+    StageSpec,
+    compile_program,
+    compile_source,
+)
+from repro.lang.interpreter import Interpreter
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.pretty import format_program
+from repro.lang.termination import TerminationReport, check_termination
+from repro.lang.typecheck import CheckedProgram, check_program
+from repro.lang.values import Record, record_size_bytes
+
+__all__ = [
+    "CompiledProgram",
+    "EndpointSpec",
+    "FoldTHandler",
+    "FoldTPlan",
+    "ProcSpec",
+    "RuleHandler",
+    "RuleSpec",
+    "StageSpec",
+    "compile_program",
+    "compile_source",
+    "Interpreter",
+    "tokenize",
+    "parse",
+    "format_program",
+    "TerminationReport",
+    "check_termination",
+    "CheckedProgram",
+    "check_program",
+    "Record",
+    "record_size_bytes",
+]

@@ -1,0 +1,393 @@
+"""Compiler from FLICK programs to task-graph specifications.
+
+The paper's compiler translates FLICK to C++ task graphs (section 5).
+Here compilation produces a :class:`CompiledProgram` holding, for every
+process, a :class:`ProcSpec`:
+
+* the process's **endpoint signature** (named channel parameters with
+  direction, element type and arity),
+* **routing rules** — one per pipeline statement, each with its source
+  endpoint, function stages (with bound-argument evaluators) and optional
+  sink endpoint,
+* an optional **foldt plan** describing the binary combine-tree the
+  runtime instantiates for parallel aggregation (Figure 3c), and
+* **global state** initialisers (the long-term key/value store of §4.3).
+
+The runtime (``repro.runtime.graph``) turns a ``ProcSpec`` plus a set of
+live connections into an executable task graph.  Compute-task handlers
+execute the rule stages through :class:`repro.lang.interpreter.Interpreter`
+— the stand-in for the paper's generated C++ — and report per-message
+operation counts for virtual-time charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import FlickError, FlickTypeError
+from repro.lang import ast
+from repro.lang import types as ty
+from repro.lang.interpreter import Interpreter
+from repro.lang.parser import parse
+from repro.lang.termination import TerminationReport, check_termination
+from repro.lang.typecheck import CheckedProgram, check_program
+from repro.lang.values import Record
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One channel parameter of a process signature."""
+
+    name: str
+    readable: bool
+    writable: bool
+    is_array: bool
+    read_type: Optional[str]  # record/primitive type name, if readable
+    write_type: Optional[str]
+
+    @property
+    def bidirectional(self) -> bool:
+        return self.readable and self.writable
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """A function stage of a pipeline rule with its bound arguments."""
+
+    func: str
+    bound_args: Tuple[ast.Expr, ...]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A routing rule: ``source => stage* => sink?``."""
+
+    source: str
+    stages: Tuple[StageSpec, ...]
+    sink: Optional[str]
+
+
+@dataclass(frozen=True)
+class FoldTPlan:
+    """Plan for a foldt combine tree over a channel-array endpoint."""
+
+    source: str
+    sink: str
+    expr: ast.FoldTExpr
+
+
+@dataclass
+class ProcSpec:
+    """Everything the runtime needs to instantiate one process."""
+
+    name: str
+    endpoints: Tuple[EndpointSpec, ...]
+    rules: Tuple[RuleSpec, ...]
+    globals: Tuple[Tuple[str, ast.Expr], ...]
+    foldt: Optional[FoldTPlan] = None
+
+    def endpoint(self, name: str) -> EndpointSpec:
+        for ep in self.endpoints:
+            if ep.name == name:
+                return ep
+        raise KeyError(name)
+
+    def client_endpoints(self) -> Tuple[EndpointSpec, ...]:
+        """Endpoints that face incoming connections (non-array first)."""
+        return tuple(ep for ep in self.endpoints if not ep.is_array)
+
+    def array_endpoints(self) -> Tuple[EndpointSpec, ...]:
+        return tuple(ep for ep in self.endpoints if ep.is_array)
+
+
+@dataclass
+class CompiledProgram:
+    """A fully checked and lowered FLICK program."""
+
+    checked: CheckedProgram
+    termination: TerminationReport
+    procs: Dict[str, ProcSpec]
+    interpreter: Interpreter = field(repr=False, default=None)
+
+    def __post_init__(self):
+        if self.interpreter is None:
+            self.interpreter = Interpreter(self.checked)
+
+    def proc(self, name: str) -> ProcSpec:
+        try:
+            return self.procs[name]
+        except KeyError:
+            raise FlickError(f"program has no process {name!r}") from None
+
+    def accessed_fields(self, record_name: str) -> frozenset:
+        return self.checked.accessed_fields.get(record_name, frozenset())
+
+    def record_names(self) -> Tuple[str, ...]:
+        return tuple(self.checked.records)
+
+
+class Compiler:
+    """Lowers a checked program to :class:`CompiledProgram`."""
+
+    def __init__(self, checked: CheckedProgram, termination: TerminationReport):
+        self._checked = checked
+        self._termination = termination
+
+    def compile(self) -> CompiledProgram:
+        procs: Dict[str, ProcSpec] = {}
+        for proc in self._checked.program.procs:
+            procs[proc.name] = self._compile_proc(proc)
+        return CompiledProgram(self._checked, self._termination, procs)
+
+    # -- processes ------------------------------------------------------------
+
+    def _compile_proc(self, proc: ast.ProcDecl) -> ProcSpec:
+        endpoints = tuple(
+            self._endpoint(name, t)
+            for name, t in self._checked.proc_params[proc.name]
+            if isinstance(ty.strip_ref(t), ty.ChannelEndType)
+        )
+        rules: List[RuleSpec] = []
+        globals_: List[Tuple[str, ast.Expr]] = []
+        foldt: Optional[FoldTPlan] = None
+        for stmt in proc.body:
+            if isinstance(stmt, ast.GlobalDecl):
+                globals_.append((stmt.name, stmt.init))
+            elif isinstance(stmt, ast.PipelineStmt):
+                rules.append(self._compile_rule(proc.name, stmt))
+            elif isinstance(stmt, ast.IfStmt):
+                plan = self._extract_foldt(proc.name, stmt)
+                if plan is not None:
+                    if foldt is not None:
+                        raise FlickTypeError(
+                            f"process {proc.name!r} has multiple foldt "
+                            "expressions; one combine tree per process",
+                            stmt.location,
+                        )
+                    foldt = plan
+                else:
+                    raise FlickTypeError(
+                        f"process {proc.name!r}: top-level if statements "
+                        "must guard a foldt aggregation",
+                        stmt.location,
+                    )
+            elif isinstance(stmt, ast.LetStmt) and isinstance(
+                stmt.value, ast.FoldTExpr
+            ):
+                raise FlickTypeError(
+                    "foldt must be guarded by all_ready(...) and routed to "
+                    "a sink channel",
+                    stmt.location,
+                )
+            else:
+                raise FlickTypeError(
+                    f"unsupported process-body statement in {proc.name!r}",
+                    getattr(stmt, "location", None),
+                )
+        return ProcSpec(
+            proc.name, endpoints, tuple(rules), tuple(globals_), foldt
+        )
+
+    @staticmethod
+    def _endpoint(name: str, t: ty.Type) -> EndpointSpec:
+        chan = ty.strip_ref(t)
+        assert isinstance(chan, ty.ChannelEndType)
+        return EndpointSpec(
+            name=name,
+            readable=chan.readable,
+            writable=chan.writable,
+            is_array=chan.is_array,
+            read_type=str(chan.read) if chan.read is not None else None,
+            write_type=str(chan.write) if chan.write is not None else None,
+        )
+
+    def _compile_rule(self, proc_name: str, stmt: ast.PipelineStmt) -> RuleSpec:
+        stages = stmt.stages
+        first = stages[0]
+        if first.func is not None or not isinstance(first.expr, ast.Var):
+            raise FlickTypeError(
+                f"process {proc_name!r}: pipeline source must be a named "
+                "channel parameter",
+                stmt.location,
+            )
+        source = first.expr.name
+        sink: Optional[str] = None
+        middle = list(stages[1:])
+        last = stages[-1]
+        if last.func is None:
+            if not isinstance(last.expr, ast.Var):
+                raise FlickTypeError(
+                    f"process {proc_name!r}: pipeline sink must be a named "
+                    "channel parameter",
+                    stmt.location,
+                )
+            sink = last.expr.name
+            middle = list(stages[1:-1])
+        funcs = tuple(
+            StageSpec(stage.func, stage.args)
+            for stage in middle
+            if stage.func is not None
+        )
+        if len(funcs) != len(middle):
+            raise FlickTypeError(
+                f"process {proc_name!r}: intermediate pipeline stages must "
+                "be function applications",
+                stmt.location,
+            )
+        return RuleSpec(source, funcs, sink)
+
+    def _extract_foldt(
+        self, proc_name: str, stmt: ast.IfStmt
+    ) -> Optional[FoldTPlan]:
+        """Recognise the Listing-3 shape::
+
+            if all_ready(mappers):
+                let result = foldt on mappers ordering ...:
+                    ...
+                result => reducer
+        """
+        cond = stmt.condition
+        if not (isinstance(cond, ast.Call) and cond.func == "all_ready"):
+            return None
+        body = stmt.then_body
+        if len(body) != 2:
+            return None
+        let, send = body
+        # ``result => reducer`` parses as a two-stage pipeline inside a
+        # process body; normalise it back to a send.
+        if (
+            isinstance(send, ast.PipelineStmt)
+            and len(send.stages) == 2
+            and send.stages[0].func is None
+            and send.stages[1].func is None
+        ):
+            send = ast.SendStmt(
+                send.stages[0].expr, send.stages[1].expr, send.location
+            )
+        if not (
+            isinstance(let, ast.LetStmt)
+            and isinstance(let.value, ast.FoldTExpr)
+            and isinstance(send, ast.SendStmt)
+            and isinstance(send.value, ast.Var)
+            and send.value.name == let.name
+            and isinstance(send.channel, ast.Var)
+        ):
+            return None
+        foldt_expr = let.value
+        if not isinstance(foldt_expr.source, ast.Var):
+            raise FlickTypeError(
+                f"process {proc_name!r}: foldt source must be a named "
+                "channel-array parameter",
+                stmt.location,
+            )
+        return FoldTPlan(
+            source=foldt_expr.source.name,
+            sink=send.channel.name,
+            expr=foldt_expr,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Handler construction (used by the runtime's compute tasks)
+# ---------------------------------------------------------------------------
+
+
+class RuleHandler:
+    """Executable form of a :class:`RuleSpec`.
+
+    ``context`` maps channel parameter names to runtime channel objects
+    (single channels expose ``send``; arrays are indexable sequences) and
+    global names to their state objects.  Calling the handler with a
+    message runs the stages and routes the result; it returns the number
+    of interpreter operations consumed, which the runtime converts into
+    virtual CPU time.
+    """
+
+    def __init__(
+        self,
+        rule: RuleSpec,
+        interpreter: Interpreter,
+        context: Dict[str, object],
+    ):
+        self._rule = rule
+        self._interp = interpreter
+        self._context = context
+
+    @property
+    def source(self) -> str:
+        return self._rule.source
+
+    @property
+    def sink(self) -> Optional[str]:
+        return self._rule.sink
+
+    def __call__(self, message) -> int:
+        interp = self._interp
+        interp.reset_ops()
+        value = message
+        for stage in self._rule.stages:
+            bound = [
+                self._eval_bound(arg) for arg in stage.bound_args
+            ]
+            value = interp.call_function(stage.func, (*bound, value))
+        if self._rule.sink is not None:
+            channel = self._context[self._rule.sink]
+            channel.send(value)
+        return interp.reset_ops() + 1
+
+    def _eval_bound(self, expr: ast.Expr):
+        if isinstance(expr, ast.Var):
+            if expr.name in self._context:
+                return self._context[expr.name]
+            raise FlickError(
+                f"pipeline stage references unbound name {expr.name!r}"
+            )
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.StrLit):
+            return expr.value
+        raise FlickError(
+            "pipeline stage bound arguments must be channel parameters, "
+            "globals or literals"
+        )
+
+
+class FoldTHandler:
+    """Key extraction and pairwise combine for a foldt merge tree node."""
+
+    def __init__(self, plan: FoldTPlan, interpreter: Interpreter):
+        self._plan = plan
+        self._interp = interpreter
+
+    def key(self, element: Record):
+        return self._interp.order_key(self._plan.expr, element)
+
+    def combine(self, left: Record, right: Record) -> Record:
+        return self._interp.combine(self._plan.expr, left, right)
+
+    def combine_with_ops(self, left: Record, right: Record):
+        self._interp.reset_ops()
+        merged = self._interp.combine(self._plan.expr, left, right)
+        return merged, self._interp.reset_ops() + 1
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def compile_checked(checked: CheckedProgram) -> CompiledProgram:
+    """Compile an already type-checked program."""
+    report = check_termination(checked.program)
+    return Compiler(checked, report).compile()
+
+
+def compile_program(program: ast.Program) -> CompiledProgram:
+    """Type check, termination check and compile an AST."""
+    return compile_checked(check_program(program))
+
+
+def compile_source(source: str, filename: str = "<flick>") -> CompiledProgram:
+    """End-to-end: parse, check and compile FLICK source text."""
+    return compile_program(parse(source, filename))

@@ -1,0 +1,232 @@
+"""Indentation-aware lexer for the FLICK language.
+
+The surface syntax follows the paper's listings: declarations introduced
+by ``type`` / ``proc`` / ``fun``, blocks delimited by indentation (as in
+Python), ``#`` comments, hexadecimal and decimal integer literals, and the
+FLICK-specific operators ``=>`` (send / pipeline), ``:=`` (assignment) and
+``->`` (function result).
+
+Implicit line joining applies inside parentheses, brackets and braces, so
+multi-line signatures such as::
+
+    proc memcached:
+        (cmd/cmd client,
+         [cmd/cmd] backends)
+
+lex the way a reader expects.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import FlickSyntaxError, SourceLocation
+from repro.lang.tokens import (
+    DEDENT,
+    EOF,
+    INDENT,
+    INT,
+    KEYWORDS,
+    NAME,
+    NEWLINE,
+    OPERATORS,
+    STRING,
+    Token,
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789")
+_DIGITS = set("0123456789")
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+
+class Lexer:
+    """Tokenises FLICK source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<flick>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        self._paren_depth = 0
+        self._indent_stack = [0]
+        self._tokens: List[Token] = []
+        self._at_line_start = True
+
+    # -- public API ------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        while self._pos < len(self._source):
+            if self._at_line_start and self._paren_depth == 0:
+                self._handle_indentation()
+                if self._pos >= len(self._source):
+                    break
+            ch = self._peek()
+            if ch == "\n":
+                self._consume_newline()
+            elif ch in " \t":
+                self._advance()
+            elif ch == "#":
+                self._skip_comment()
+            elif ch == '"' or ch == "'":
+                self._lex_string(ch)
+            elif ch in _DIGITS:
+                self._lex_number()
+            elif ch in _NAME_START:
+                self._lex_name()
+            else:
+                self._lex_operator()
+        self._finish()
+        return self._tokens
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._source[idx] if idx < len(self._source) else ""
+
+    def _advance(self) -> str:
+        ch = self._source[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col, self._filename)
+
+    def _emit(self, kind: str, value=None, location=None) -> None:
+        self._tokens.append(Token(kind, value, location or self._location()))
+
+    # -- indentation -------------------------------------------------------
+
+    def _handle_indentation(self) -> None:
+        # Measure leading whitespace of the current line; blank lines and
+        # comment-only lines produce no INDENT/DEDENT/NEWLINE tokens.
+        while True:
+            start = self._pos
+            width = 0
+            while self._pos < len(self._source) and self._peek() in " \t":
+                width += 8 - (width % 8) if self._peek() == "\t" else 1
+                self._advance()
+            if self._peek() == "#":
+                self._skip_comment()
+            if self._peek() == "\n":
+                self._advance()
+                continue
+            if self._pos >= len(self._source):
+                return
+            break
+        self._at_line_start = False
+        current = self._indent_stack[-1]
+        if width > current:
+            self._indent_stack.append(width)
+            self._emit(INDENT)
+        else:
+            while width < self._indent_stack[-1]:
+                self._indent_stack.pop()
+                self._emit(DEDENT)
+            if width != self._indent_stack[-1]:
+                raise FlickSyntaxError(
+                    "inconsistent indentation", self._location()
+                )
+
+    def _consume_newline(self) -> None:
+        self._advance()
+        if self._paren_depth == 0:
+            if self._tokens and self._tokens[-1].kind not in (NEWLINE, INDENT):
+                self._emit(NEWLINE)
+            self._at_line_start = True
+
+    def _skip_comment(self) -> None:
+        while self._pos < len(self._source) and self._peek() != "\n":
+            self._advance()
+
+    def _finish(self) -> None:
+        if self._tokens and self._tokens[-1].kind not in (NEWLINE,):
+            self._emit(NEWLINE)
+        while len(self._indent_stack) > 1:
+            self._indent_stack.pop()
+            self._emit(DEDENT)
+        self._emit(EOF)
+
+    # -- token classes -------------------------------------------------------
+
+    def _lex_string(self, quote: str) -> None:
+        loc = self._location()
+        self._advance()
+        chars: List[str] = []
+        while True:
+            if self._pos >= len(self._source) or self._peek() == "\n":
+                raise FlickSyntaxError("unterminated string literal", loc)
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\\":
+                if self._pos >= len(self._source):
+                    raise FlickSyntaxError("unterminated string literal", loc)
+                escape = self._advance()
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", quote: quote, "0": "\0"}
+                if escape not in mapping:
+                    raise FlickSyntaxError(
+                        f"unknown escape sequence '\\{escape}'", loc
+                    )
+                chars.append(mapping[escape])
+            else:
+                chars.append(ch)
+        self._emit(STRING, "".join(chars), loc)
+
+    def _lex_number(self) -> None:
+        loc = self._location()
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance()
+            self._advance()
+            digits: List[str] = []
+            while self._peek() in _HEX_DIGITS:
+                digits.append(self._advance())
+            if not digits:
+                raise FlickSyntaxError("malformed hex literal", loc)
+            self._emit(INT, int("".join(digits), 16), loc)
+            return
+        digits = []
+        while self._peek() in _DIGITS:
+            digits.append(self._advance())
+        self._emit(INT, int("".join(digits)), loc)
+
+    def _lex_name(self) -> None:
+        loc = self._location()
+        chars: List[str] = []
+        while self._peek() in _NAME_CONT:
+            chars.append(self._advance())
+        word = "".join(chars)
+        if word == "_":
+            self._emit("_", None, loc)
+        elif word in KEYWORDS:
+            self._emit(word, None, loc)
+        else:
+            self._emit(NAME, word, loc)
+
+    def _lex_operator(self) -> None:
+        loc = self._location()
+        for op in OPERATORS:
+            if self._source.startswith(op, self._pos):
+                for _ in op:
+                    self._advance()
+                if op in "([{":
+                    self._paren_depth += 1
+                elif op in ")]}":
+                    self._paren_depth = max(0, self._paren_depth - 1)
+                self._emit(op, None, loc)
+                return
+        raise FlickSyntaxError(
+            f"unexpected character {self._peek()!r}", loc
+        )
+
+
+def tokenize(source: str, filename: str = "<flick>") -> List[Token]:
+    """Convenience wrapper: tokenise ``source`` in one call."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,504 @@
+"""Recursive-descent parser for the FLICK language.
+
+The grammar follows the paper's listings (Listing 1 in both its full and
+condensed forms, and Listing 3).  Both layout conventions that appear in
+the paper are accepted: signatures on the declaration line::
+
+    proc Memcached: (cmd/cmd client, [cmd/cmd] backends)
+        | backends => client
+
+and signatures on the first body line::
+
+    fun update_cache:
+        (cache: ref dict<string*string>, resp: cmd)
+        -> (cmd)
+        if resp.opcode = 0x0c:
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.errors import FlickSyntaxError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import DEDENT, EOF, INDENT, INT, NAME, NEWLINE, STRING, Token
+
+_COMPARISON_OPS = ("=", "==", "<>", "<", ">", "<=", ">=")
+_ADDITIVE_OPS = ("+", "-")
+_MULTIPLICATIVE_OPS = ("*", "/", "mod")
+
+
+class Parser:
+    """Parses a token stream into an :class:`ast.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token stream helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _at(self, kind: str, offset: int = 0) -> bool:
+        return self._peek(offset).kind == kind
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _expect(self, kind: str) -> Token:
+        tok = self._peek()
+        if tok.kind != kind:
+            raise FlickSyntaxError(
+                f"expected {kind!r} but found {tok.kind!r}", tok.location
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _skip_newlines(self) -> None:
+        while self._at(NEWLINE):
+            self._advance()
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        types: List[ast.TypeDecl] = []
+        procs: List[ast.ProcDecl] = []
+        funs: List[ast.FunDecl] = []
+        self._skip_newlines()
+        while not self._at(EOF):
+            if self._at("type"):
+                types.append(self._parse_type_decl())
+            elif self._at("proc"):
+                procs.append(self._parse_proc_decl())
+            elif self._at("fun"):
+                funs.append(self._parse_fun_decl())
+            else:
+                tok = self._peek()
+                raise FlickSyntaxError(
+                    f"expected a declaration, found {tok.kind!r}", tok.location
+                )
+            self._skip_newlines()
+        return ast.Program(tuple(types), tuple(procs), tuple(funs))
+
+    # -- type declarations -----------------------------------------------
+
+    def _parse_type_decl(self) -> ast.TypeDecl:
+        loc = self._expect("type").location
+        name = self._expect(NAME).value
+        self._expect(":")
+        self._expect("record")
+        self._skip_newlines()
+        self._expect(INDENT)
+        fields: List[ast.FieldDecl] = []
+        while not self._at(DEDENT):
+            fields.append(self._parse_field_decl())
+            self._skip_newlines()
+        self._expect(DEDENT)
+        if not fields:
+            raise FlickSyntaxError(f"record type {name!r} has no fields", loc)
+        return ast.TypeDecl(name, tuple(fields), loc)
+
+    def _parse_field_decl(self) -> ast.FieldDecl:
+        tok = self._peek()
+        if self._accept("_"):
+            fname: Optional[str] = None
+        else:
+            fname = self._expect(NAME).value
+        self._expect(":")
+        ftype = self._parse_type_expr()
+        attrs: List[Tuple[str, ast.Expr]] = []
+        if self._accept("{"):
+            while not self._at("}"):
+                aname = self._expect(NAME).value
+                self._expect("=")
+                attrs.append((aname, self._parse_expr()))
+                if not self._accept(","):
+                    break
+            self._expect("}")
+        return ast.FieldDecl(fname, ftype, tuple(attrs), tok.location)
+
+    # -- type expressions ---------------------------------------------------
+
+    def _parse_type_expr(self) -> ast.TypeExpr:
+        if self._accept("ref"):
+            return ast.RefType(self._parse_type_expr())
+        if self._accept("dict"):
+            self._expect("<")
+            key = self._parse_type_expr()
+            self._expect("*")
+            value = self._parse_type_expr()
+            self._expect(">")
+            return ast.DictType(key, value)
+        if self._accept("list"):
+            self._expect("<")
+            element = self._parse_type_expr()
+            self._expect(">")
+            return ast.ListType(element)
+        name = self._expect(NAME).value
+        return ast.NamedType(name)
+
+    # -- parameters -----------------------------------------------------------
+
+    def _parse_params(self) -> Tuple[ast.Param, ...]:
+        self._expect("(")
+        params: List[ast.Param] = []
+        while not self._at(")"):
+            params.append(self._parse_param())
+            if not self._accept(","):
+                break
+        self._expect(")")
+        return tuple(params)
+
+    def _parse_param(self) -> ast.Param:
+        loc = self._peek().location
+        if self._at("["):
+            chan = self._parse_channel_type(is_array=True)
+            name = self._expect(NAME).value
+            return ast.Param(name, chan, loc)
+        if self._at("-") or (self._at(NAME) and self._at("/", 1)):
+            chan = self._parse_channel_type(is_array=False)
+            name = self._expect(NAME).value
+            return ast.Param(name, chan, loc)
+        name = self._expect(NAME).value
+        self._expect(":")
+        ptype = self._parse_type_expr()
+        return ast.Param(name, ptype, loc)
+
+    def _parse_channel_type(self, is_array: bool) -> ast.ChannelType:
+        if is_array:
+            self._expect("[")
+        read = self._parse_channel_direction()
+        self._expect("/")
+        write = self._parse_channel_direction()
+        if is_array:
+            self._expect("]")
+        return ast.ChannelType(read, write, is_array)
+
+    def _parse_channel_direction(self) -> Optional[ast.TypeExpr]:
+        if self._accept("-"):
+            return None
+        return ast.NamedType(self._expect(NAME).value)
+
+    # -- processes ------------------------------------------------------------
+
+    def _parse_proc_decl(self) -> ast.ProcDecl:
+        loc = self._expect("proc").location
+        name = self._expect(NAME).value
+        self._expect(":")
+        if self._at("("):
+            # Form A: signature on the declaration line.
+            params = self._parse_params()
+            self._accept(":")
+            self._skip_newlines()
+            self._expect(INDENT)
+            body = self._parse_stmt_block(in_proc=True)
+            return ast.ProcDecl(name, params, body, loc)
+        # Form B: signature on the first body line.
+        self._skip_newlines()
+        self._expect(INDENT)
+        params = self._parse_params()
+        self._accept(":")
+        self._skip_newlines()
+        body = self._parse_stmt_block(in_proc=True)
+        return ast.ProcDecl(name, params, body, loc)
+
+    # -- functions ------------------------------------------------------------
+
+    def _parse_fun_decl(self) -> ast.FunDecl:
+        loc = self._expect("fun").location
+        name = self._expect(NAME).value
+        self._expect(":")
+        indented_signature = False
+        if not self._at("("):
+            self._skip_newlines()
+            self._expect(INDENT)
+            indented_signature = True
+        params = self._parse_params()
+        self._skip_newlines()
+        self._expect("->")
+        self._expect("(")
+        returns: List[ast.TypeExpr] = []
+        while not self._at(")"):
+            returns.append(self._parse_type_expr())
+            if not self._accept(","):
+                break
+        self._expect(")")
+        self._accept(":")
+        self._skip_newlines()
+        if not indented_signature:
+            self._expect(INDENT)
+        body = self._parse_stmt_block(in_proc=False)
+        return ast.FunDecl(name, params, tuple(returns), body, loc)
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_stmt_block(self, in_proc: bool) -> Tuple[ast.Stmt, ...]:
+        """Parse statements until the enclosing DEDENT (which is consumed)."""
+        stmts: List[ast.Stmt] = []
+        self._skip_newlines()
+        while not self._at(DEDENT) and not self._at(EOF):
+            stmts.append(self._parse_stmt(in_proc))
+            self._skip_newlines()
+        self._accept(DEDENT)
+        return tuple(stmts)
+
+    def _parse_indented_block(self, in_proc: bool) -> Tuple[ast.Stmt, ...]:
+        self._skip_newlines()
+        self._expect(INDENT)
+        return self._parse_stmt_block(in_proc)
+
+    def _parse_stmt(self, in_proc: bool) -> ast.Stmt:
+        if in_proc:
+            self._accept("|")  # optional rule marker, as in condensed Listing 1
+        tok = self._peek()
+        if self._at("global"):
+            return self._parse_global()
+        if self._at("let"):
+            return self._parse_let(in_proc)
+        if self._at("if"):
+            return self._parse_if(in_proc)
+        if self._at("foldt"):
+            expr = self._parse_foldt(in_proc)
+            return ast.ExprStmt(expr, tok.location)
+        return self._parse_simple_stmt(in_proc)
+
+    def _parse_global(self) -> ast.Stmt:
+        loc = self._expect("global").location
+        name = self._expect(NAME).value
+        self._expect(":=")
+        init = self._parse_expr()
+        self._expect(NEWLINE)
+        return ast.GlobalDecl(name, init, loc)
+
+    def _parse_let(self, in_proc: bool) -> ast.Stmt:
+        loc = self._expect("let").location
+        name = self._expect(NAME).value
+        if not self._accept("="):
+            self._expect(":=")
+        if self._at("foldt"):
+            value: ast.Expr = self._parse_foldt(in_proc)
+        else:
+            value = self._parse_expr()
+            self._expect(NEWLINE)
+        return ast.LetStmt(name, value, loc)
+
+    def _parse_if(self, in_proc: bool) -> ast.Stmt:
+        loc = self._expect("if").location
+        condition = self._parse_expr()
+        self._expect(":")
+        then_body = self._parse_indented_block(in_proc)
+        else_body: Tuple[ast.Stmt, ...] = ()
+        self._skip_newlines()
+        if self._at("elif"):
+            # Desugar ``elif`` into a nested IfStmt in the else branch.
+            nested = self._parse_if_continuation(in_proc)
+            else_body = (nested,)
+        elif self._accept("else"):
+            self._expect(":")
+            else_body = self._parse_indented_block(in_proc)
+        return ast.IfStmt(condition, then_body, else_body, loc)
+
+    def _parse_if_continuation(self, in_proc: bool) -> ast.Stmt:
+        loc = self._expect("elif").location
+        condition = self._parse_expr()
+        self._expect(":")
+        then_body = self._parse_indented_block(in_proc)
+        else_body: Tuple[ast.Stmt, ...] = ()
+        self._skip_newlines()
+        if self._at("elif"):
+            else_body = (self._parse_if_continuation(in_proc),)
+        elif self._accept("else"):
+            self._expect(":")
+            else_body = self._parse_indented_block(in_proc)
+        return ast.IfStmt(condition, then_body, else_body, loc)
+
+    def _parse_simple_stmt(self, in_proc: bool) -> ast.Stmt:
+        loc = self._peek().location
+        expr = self._parse_expr()
+        if self._accept(":="):
+            value = self._parse_expr()
+            self._expect(NEWLINE)
+            return ast.AssignStmt(expr, value, loc)
+        if self._at("=>"):
+            if in_proc:
+                return self._parse_pipeline(expr, loc)
+            self._advance()
+            channel = self._parse_expr()
+            self._expect(NEWLINE)
+            return ast.SendStmt(expr, channel, loc)
+        self._expect(NEWLINE)
+        return ast.ExprStmt(expr, loc)
+
+    def _parse_pipeline(self, first: ast.Expr, loc) -> ast.Stmt:
+        stages = [self._expr_to_stage(first)]
+        while self._accept("=>"):
+            stages.append(self._expr_to_stage(self._parse_expr()))
+        self._expect(NEWLINE)
+        return ast.PipelineStmt(tuple(stages), loc)
+
+    @staticmethod
+    def _expr_to_stage(expr: ast.Expr) -> ast.PipelineStage:
+        if isinstance(expr, ast.Call):
+            return ast.PipelineStage(
+                expr=None, func=expr.func, args=expr.args, location=expr.location
+            )
+        return ast.PipelineStage(expr=expr, location=getattr(expr, "location", None))
+
+    # -- foldt ------------------------------------------------------------------
+
+    def _parse_foldt(self, in_proc: bool) -> ast.FoldTExpr:
+        loc = self._expect("foldt").location
+        self._expect("on")
+        source = self._parse_expr()
+        self._expect("ordering")
+        elem_var = self._expect(NAME).value
+        left_var = self._expect(NAME).value
+        self._expect(",")
+        right_var = self._expect(NAME).value
+        self._expect("by")
+        order_expr = self._parse_expr()
+        self._expect("as")
+        key_alias = self._expect(NAME).value
+        self._expect(":")
+        body = self._parse_indented_block(in_proc=False)
+        return ast.FoldTExpr(
+            source,
+            elem_var,
+            left_var,
+            right_var,
+            order_expr,
+            key_alias,
+            body,
+            loc,
+        )
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at("or"):
+            loc = self._advance().location
+            left = ast.BinOp("or", left, self._parse_and(), loc)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._at("and"):
+            loc = self._advance().location
+            left = ast.BinOp("and", left, self._parse_not(), loc)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._at("not"):
+            loc = self._advance().location
+            return ast.UnaryOp("not", self._parse_not(), loc)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().kind in _COMPARISON_OPS:
+            op_tok = self._advance()
+            op = "=" if op_tok.kind == "==" else op_tok.kind
+            left = ast.BinOp(op, left, self._parse_additive(), op_tok.location)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind in _ADDITIVE_OPS:
+            op_tok = self._advance()
+            left = ast.BinOp(
+                op_tok.kind, left, self._parse_multiplicative(), op_tok.location
+            )
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind in _MULTIPLICATIVE_OPS:
+            op_tok = self._advance()
+            left = ast.BinOp(op_tok.kind, left, self._parse_unary(), op_tok.location)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._at("-"):
+            loc = self._advance().location
+            return ast.UnaryOp("-", self._parse_unary(), loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_atom()
+        while True:
+            if self._accept("."):
+                tok = self._expect(NAME)
+                expr = ast.FieldAccess(expr, tok.value, tok.location)
+            elif self._at("["):
+                loc = self._advance().location
+                index = self._parse_expr()
+                self._expect("]")
+                expr = ast.Index(expr, index, loc)
+            else:
+                return expr
+
+    def _parse_atom(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind == INT:
+            self._advance()
+            return ast.IntLit(tok.value, tok.location)
+        if tok.kind == STRING:
+            self._advance()
+            return ast.StrLit(tok.value, tok.location)
+        if tok.kind == "True":
+            self._advance()
+            return ast.BoolLit(True, tok.location)
+        if tok.kind == "False":
+            self._advance()
+            return ast.BoolLit(False, tok.location)
+        if tok.kind == "None":
+            self._advance()
+            return ast.NoneLit(tok.location)
+        if tok.kind in ("fold", "map", "filter"):
+            # Higher-order builtins parse as ordinary calls; the first
+            # argument must be a function name (checked statically).
+            self._advance()
+            return self._parse_call(tok.kind, tok.location)
+        if tok.kind == NAME:
+            self._advance()
+            if self._at("("):
+                return self._parse_call(tok.value, tok.location)
+            return ast.Var(tok.value, tok.location)
+        if tok.kind == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        raise FlickSyntaxError(
+            f"expected an expression, found {tok.kind!r}", tok.location
+        )
+
+    def _parse_call(self, func: str, loc) -> ast.Expr:
+        self._expect("(")
+        args: List[ast.Expr] = []
+        while not self._at(")"):
+            args.append(self._parse_expr())
+            if not self._accept(","):
+                break
+        self._expect(")")
+        return ast.Call(func, tuple(args), loc)
+
+
+def parse(source: str, filename: str = "<flick>") -> ast.Program:
+    """Parse FLICK source text into a :class:`repro.lang.ast.Program`."""
+    return Parser(tokenize(source, filename)).parse_program()

@@ -1,0 +1,145 @@
+"""Pretty printer for FLICK ASTs.
+
+Emits canonical source text that re-parses to an equivalent AST; used by
+the round-trip tests and for diagnostic dumps of compiled programs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+
+def _type_expr(t: ast.TypeExpr) -> str:
+    if isinstance(t, ast.NamedType):
+        return t.name
+    if isinstance(t, ast.DictType):
+        return f"dict<{_type_expr(t.key)}*{_type_expr(t.value)}>"
+    if isinstance(t, ast.ListType):
+        return f"list<{_type_expr(t.element)}>"
+    if isinstance(t, ast.RefType):
+        return f"ref {_type_expr(t.inner)}"
+    if isinstance(t, ast.ChannelType):
+        read = _type_expr(t.read) if t.read else "-"
+        write = _type_expr(t.write) if t.write else "-"
+        core = f"{read}/{write}"
+        return f"[{core}]" if t.is_array else core
+    raise TypeError(f"unknown type expression {t!r}")
+
+
+def _expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.IntLit):
+        return str(e.value)
+    if isinstance(e, ast.StrLit):
+        escaped = e.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(e, ast.BoolLit):
+        return "True" if e.value else "False"
+    if isinstance(e, ast.NoneLit):
+        return "None"
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.FieldAccess):
+        return f"{_expr(e.obj)}.{e.field}"
+    if isinstance(e, ast.Index):
+        return f"{_expr(e.obj)}[{_expr(e.index)}]"
+    if isinstance(e, ast.Call):
+        args = ", ".join(_expr(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, ast.BinOp):
+        return f"({_expr(e.left)} {e.op} {_expr(e.right)})"
+    if isinstance(e, ast.UnaryOp):
+        if e.op == "not":
+            return f"(not {_expr(e.operand)})"
+        return f"(-{_expr(e.operand)})"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _stage(s: ast.PipelineStage) -> str:
+    if s.func is not None:
+        args = ", ".join(_expr(a) for a in s.args)
+        return f"{s.func}({args})"
+    return _expr(s.expr)
+
+
+def _stmt(s: ast.Stmt, depth: int, out: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(s, ast.GlobalDecl):
+        out.append(f"{pad}global {s.name} := {_expr(s.init)}")
+    elif isinstance(s, ast.LetStmt):
+        if isinstance(s.value, ast.FoldTExpr):
+            out.append(f"{pad}let {s.name} = {_foldt_header(s.value)}")
+            for stmt in s.value.body:
+                _stmt(stmt, depth + 1, out)
+        else:
+            out.append(f"{pad}let {s.name} = {_expr(s.value)}")
+    elif isinstance(s, ast.AssignStmt):
+        out.append(f"{pad}{_expr(s.target)} := {_expr(s.value)}")
+    elif isinstance(s, ast.SendStmt):
+        out.append(f"{pad}{_expr(s.value)} => {_expr(s.channel)}")
+    elif isinstance(s, ast.IfStmt):
+        out.append(f"{pad}if {_expr(s.condition)}:")
+        for stmt in s.then_body:
+            _stmt(stmt, depth + 1, out)
+        if s.else_body:
+            out.append(f"{pad}else:")
+            for stmt in s.else_body:
+                _stmt(stmt, depth + 1, out)
+    elif isinstance(s, ast.PipelineStmt):
+        out.append(pad + " => ".join(_stage(st) for st in s.stages))
+    elif isinstance(s, ast.ExprStmt):
+        if isinstance(s.expr, ast.FoldTExpr):
+            out.append(f"{pad}{_foldt_header(s.expr)}")
+            for stmt in s.expr.body:
+                _stmt(stmt, depth + 1, out)
+        else:
+            out.append(f"{pad}{_expr(s.expr)}")
+    else:
+        raise TypeError(f"unknown statement {s!r}")
+
+
+def _foldt_header(e: ast.FoldTExpr) -> str:
+    return (
+        f"foldt on {_expr(e.source)} ordering {e.elem_var} "
+        f"{e.left_var}, {e.right_var} by {_expr(e.order_expr)} "
+        f"as {e.key_alias}:"
+    )
+
+
+def _param(p: ast.Param) -> str:
+    if isinstance(p.type, ast.ChannelType):
+        return f"{_type_expr(p.type)} {p.name}"
+    return f"{p.name}: {_type_expr(p.type)}"
+
+
+def format_program(program: ast.Program) -> str:
+    """Render ``program`` as canonical FLICK source text."""
+    out: List[str] = []
+    for tdecl in program.types:
+        out.append(f"type {tdecl.name}: record")
+        for fdecl in tdecl.fields:
+            name = fdecl.name if fdecl.name is not None else "_"
+            line = f"{_INDENT}{name} : {_type_expr(fdecl.type)}"
+            if fdecl.attrs:
+                attrs = ", ".join(f"{k}={_expr(v)}" for k, v in fdecl.attrs)
+                line += f" {{{attrs}}}"
+            out.append(line)
+        out.append("")
+    for proc in program.procs:
+        params = ", ".join(_param(p) for p in proc.params)
+        out.append(f"proc {proc.name}: ({params})")
+        for stmt in proc.body:
+            _stmt(stmt, 1, out)
+        out.append("")
+    for fun in program.funs:
+        params = ", ".join(_param(p) for p in fun.params)
+        returns = ", ".join(_type_expr(r) for r in fun.returns)
+        out.append(f"fun {fun.name}: ({params}) -> ({returns})")
+        for stmt in fun.body:
+            _stmt(stmt, 1, out)
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

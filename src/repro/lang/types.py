@@ -1,0 +1,227 @@
+"""Semantic types for the FLICK static type system.
+
+These are the checker's internal representation, distinct from the
+syntactic :class:`repro.lang.ast.TypeExpr` nodes.  FLICK is strongly and
+statically typed (section 4.3); every built-in type is finite, and records
+carry their field layout so the compiler can generate specialised parsing
+code for exactly the accessed fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for semantic types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return self.__class__.__name__
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    signed: bool = True
+    size: Optional[int] = None  # wire size in bytes, if annotated
+
+    def __str__(self) -> str:
+        return "integer"
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "boolean"
+
+
+@dataclass(frozen=True)
+class UnitType(Type):
+    """The type of ``None`` and of functions returning ``()``."""
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class AnyType(Type):
+    """Compatible with every type.
+
+    Used for the element type of ``empty_dict`` before first insertion and
+    for builtins that are polymorphic (``hash``, ``len``).
+    """
+
+    def __str__(self) -> str:
+        return "any"
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A user-declared record.  ``fields`` lists only the *named* fields;
+    anonymous ``_`` fields exist solely in the wire grammar and are not
+    addressable from programs."""
+
+    name: str
+    fields: Tuple[Tuple[str, Type], ...]
+
+    def field_type(self, fname: str) -> Optional[Type]:
+        for name, ftype in self.fields:
+            if name == fname:
+                return ftype
+        return None
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DictMapType(Type):
+    key: Type
+    value: Type
+
+    def __str__(self) -> str:
+        return f"dict<{self.key}*{self.value}>"
+
+
+@dataclass(frozen=True)
+class ListSeqType(Type):
+    element: Type
+
+    def __str__(self) -> str:
+        return f"list<{self.element}>"
+
+
+@dataclass(frozen=True)
+class RefCellType(Type):
+    inner: Type
+
+    def __str__(self) -> str:
+        return f"ref {self.inner}"
+
+
+@dataclass(frozen=True)
+class ChannelEndType(Type):
+    """A channel endpoint as seen by a process or function parameter.
+
+    ``read`` is the type of values the program may *consume* from the
+    channel; ``write`` the type it may *produce* into it.  ``None`` on
+    either side encodes the restricted directions ``-/T`` and ``T/-``.
+    """
+
+    read: Optional[Type]
+    write: Optional[Type]
+    is_array: bool = False
+
+    @property
+    def readable(self) -> bool:
+        return self.read is not None
+
+    @property
+    def writable(self) -> bool:
+        return self.write is not None
+
+    def element(self) -> "ChannelEndType":
+        """The endpoint type of one member of a channel array."""
+        if not self.is_array:
+            raise ValueError("not a channel array")
+        return ChannelEndType(self.read, self.write, False)
+
+    def __str__(self) -> str:
+        r = str(self.read) if self.read is not None else "-"
+        w = str(self.write) if self.write is not None else "-"
+        core = f"{r}/{w}"
+        return f"[{core}]" if self.is_array else core
+
+
+@dataclass(frozen=True)
+class FunType(Type):
+    params: Tuple[Type, ...]
+    returns: Tuple[Type, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.params)
+        rets = ", ".join(str(r) for r in self.returns)
+        return f"({args}) -> ({rets})"
+
+
+INTEGER = IntType()
+STRING = StringType()
+BOOLEAN = BoolType()
+UNIT = UnitType()
+ANY = AnyType()
+
+_PRIMITIVES: Dict[str, Type] = {
+    "integer": INTEGER,
+    "int": INTEGER,
+    "string": STRING,
+    "bytes": STRING,
+    "boolean": BOOLEAN,
+    "bool": BOOLEAN,
+    "unit": UNIT,
+}
+
+
+def primitive(name: str) -> Optional[Type]:
+    """Look up a primitive type by its surface name."""
+    return _PRIMITIVES.get(name)
+
+
+def strip_ref(t: Type) -> Type:
+    """Unwrap ``ref`` so value operations see the underlying type."""
+    while isinstance(t, RefCellType):
+        t = t.inner
+    return t
+
+
+def compatible(expected: Type, actual: Type) -> bool:
+    """Structural compatibility used for assignments and argument passing.
+
+    ``any`` unifies with everything; records are nominal; containers are
+    compared element-wise.  ``unit`` (the None literal) is accepted where a
+    value may be absent, which mirrors the paper's ``cache[k] = None`` test.
+    """
+    expected = strip_ref(expected)
+    actual = strip_ref(actual)
+    if isinstance(expected, AnyType) or isinstance(actual, AnyType):
+        return True
+    if isinstance(expected, IntType) and isinstance(actual, IntType):
+        return True
+    if isinstance(expected, StringType) and isinstance(actual, StringType):
+        return True
+    if isinstance(expected, BoolType) and isinstance(actual, BoolType):
+        return True
+    if isinstance(expected, UnitType) and isinstance(actual, UnitType):
+        return True
+    if isinstance(expected, RecordType) and isinstance(actual, RecordType):
+        return expected.name == actual.name
+    if isinstance(expected, DictMapType) and isinstance(actual, DictMapType):
+        return compatible(expected.key, actual.key) and compatible(
+            expected.value, actual.value
+        )
+    if isinstance(expected, ListSeqType) and isinstance(actual, ListSeqType):
+        return compatible(expected.element, actual.element)
+    if isinstance(expected, ChannelEndType) and isinstance(actual, ChannelEndType):
+        if expected.is_array != actual.is_array:
+            return False
+        # A bidirectional channel can be passed where a restricted one is
+        # expected (dropping a capability is always safe), not vice versa.
+        if expected.read is not None:
+            if actual.read is None or not compatible(expected.read, actual.read):
+                return False
+        if expected.write is not None:
+            if actual.write is None or not compatible(expected.write, actual.write):
+                return False
+        return True
+    return False

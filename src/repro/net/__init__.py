@@ -1,0 +1,20 @@
+"""Simulated network substrate: hosts/NICs, TCP streams, stack profiles."""
+
+from repro.net.simnet import HOP_LATENCY_US, Host, Network, RateLimiter, WIRE_OVERHEAD
+from repro.net.stackprofiles import KERNEL, MTCP, PROFILES, StackProfile, profile
+from repro.net.tcp import TcpNetwork, TcpSocket
+
+__all__ = [
+    "HOP_LATENCY_US",
+    "Host",
+    "Network",
+    "RateLimiter",
+    "WIRE_OVERHEAD",
+    "KERNEL",
+    "MTCP",
+    "PROFILES",
+    "StackProfile",
+    "profile",
+    "TcpNetwork",
+    "TcpSocket",
+]

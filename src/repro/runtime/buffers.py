@@ -1,0 +1,55 @@
+"""Pre-allocated buffer pool (section 5: "All buffers are drawn from a
+pre-allocated pool to avoid dynamic memory allocation").
+
+In the simulation a buffer is an accounting token rather than memory, but
+the pool enforces the same discipline: a fixed byte budget split into
+fixed-size buffers, exhaustion is an error (never silent growth), and the
+high-water mark is observable so tests can assert boundedness.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import BufferPoolExhausted
+
+
+class BufferPool:
+    """Fixed budget of fixed-size buffers; acquire/release by byte count."""
+
+    def __init__(self, total_bytes: int, buffer_size: int):
+        if total_bytes <= 0 or buffer_size <= 0:
+            raise ValueError("pool and buffer sizes must be positive")
+        self.buffer_size = buffer_size
+        self.total_buffers = total_bytes // buffer_size
+        self._free = self.total_buffers
+        self.high_water = 0
+
+    @property
+    def in_use(self) -> int:
+        return self.total_buffers - self._free
+
+    @property
+    def free(self) -> int:
+        return self._free
+
+    def buffers_for(self, nbytes: int) -> int:
+        """Buffers needed to hold ``nbytes`` (at least one)."""
+        if nbytes <= 0:
+            return 1
+        return -(-nbytes // self.buffer_size)
+
+    def acquire(self, nbytes: int) -> int:
+        """Claim buffers for ``nbytes``; returns the buffer count claimed."""
+        needed = self.buffers_for(nbytes)
+        if needed > self._free:
+            raise BufferPoolExhausted(
+                f"need {needed} buffer(s), only {self._free} of "
+                f"{self.total_buffers} free"
+            )
+        self._free -= needed
+        self.high_water = max(self.high_water, self.in_use)
+        return needed
+
+    def release(self, count: int) -> None:
+        if count < 0 or self._free + count > self.total_buffers:
+            raise ValueError(f"invalid release of {count} buffer(s)")
+        self._free += count

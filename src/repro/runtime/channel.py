@@ -1,0 +1,101 @@
+"""Task channels: bounded FIFO queues between tasks of a task graph.
+
+A channel connects exactly one producer to one consumer task.  Pushing
+makes the consumer runnable (via the scheduler callback installed by the
+task graph); capacity is finite so the graphs of section 5 have bounded
+memory, and producers must check :meth:`has_space` — input tasks stop
+draining their socket when downstream is full, which is the platform's
+backpressure mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.core.errors import ChannelClosed, ChannelFull
+
+#: Sentinel queued to signal end-of-stream to the consumer.
+EOS = object()
+
+
+class TaskChannel:
+    """Bounded single-producer/single-consumer queue of messages."""
+
+    def __init__(self, name: str, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque = deque()
+        self._closed = False
+        self._eos_delivered = False
+        self.on_runnable: Optional[Callable[[], None]] = None
+        self.high_water = 0
+
+    # -- producer side ------------------------------------------------------
+
+    def has_space(self) -> bool:
+        return len(self._queue) < self.capacity
+
+    def push(self, item) -> None:
+        if self._closed:
+            raise ChannelClosed(f"push into closed channel {self.name!r}")
+        if len(self._queue) >= self.capacity:
+            raise ChannelFull(
+                f"channel {self.name!r} is full ({self.capacity} items)"
+            )
+        self._queue.append(item)
+        self.high_water = max(self.high_water, len(self._queue))
+        if self.on_runnable is not None:
+            self.on_runnable()
+
+    def close(self) -> None:
+        """Producer is done; consumer sees EOS after draining."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.append(EOS)
+        if self.on_runnable is not None:
+            self.on_runnable()
+
+    # -- consumer side ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._queue if item is not EOS)
+
+    def ready(self) -> bool:
+        """True if a data item (not EOS) is available."""
+        return len(self) > 0
+
+    def empty(self) -> bool:
+        return not self._queue
+
+    def peek(self):
+        """The next data item, or None (EOS is not peekable)."""
+        if self._queue and self._queue[0] is not EOS:
+            return self._queue[0]
+        return None
+
+    def at_eos(self) -> bool:
+        """True once the producer closed and all data was consumed."""
+        return self._eos_delivered or (
+            self._closed and len(self._queue) == 1 and self._queue[0] is EOS
+        )
+
+    def exhausted(self) -> bool:
+        """True when EOS has been popped: no more data will ever arrive."""
+        return self._eos_delivered
+
+    def pop(self):
+        """Pop the next data item; returns EOS exactly once at the end."""
+        if not self._queue:
+            raise ChannelClosed(f"pop from empty channel {self.name!r}")
+        item = self._queue.popleft()
+        if item is EOS:
+            self._eos_delivered = True
+        return item
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

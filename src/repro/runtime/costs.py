@@ -1,0 +1,66 @@
+"""CPU cost model for task execution (virtual µs).
+
+The compiler-generated C++ of the paper becomes interpreted Python here,
+so absolute speed is meaningless; instead every task reports abstract
+*ops* (interpreter operations, parser field/byte work) and this module
+converts ops to virtual microseconds on the simulated middlebox cores.
+
+``OP_US`` is calibrated so that the end-to-end per-request CPU cost of
+the static web server (parse + compute + serialise + stack ops) lands
+near the paper's measured peak (~306k requests/s on 16 cores with the
+kernel stack, i.e. ~52 µs of CPU per request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Virtual µs charged per abstract interpreter/parser op.
+OP_US = 2.3
+
+#: Fixed cost of dispatching one message into a task (queue pop, state).
+TASK_DISPATCH_US = 0.5
+
+#: Cost of a scheduling decision (dequeue from worker queue, bookkeeping).
+SCHEDULE_US = 0.4
+
+#: Cost to steal work from another worker's queue.
+STEAL_US = 0.9
+
+#: Cost to construct a task graph when the pre-allocated pool is empty.
+GRAPH_BUILD_US = 35.0
+
+#: Cost to reset + recycle a pooled task graph.
+GRAPH_RECYCLE_US = 3.0
+
+
+def ops_to_us(ops: float) -> float:
+    """Convert abstract ops to virtual microseconds."""
+    return ops * OP_US
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunables of one FLICK platform instance.
+
+    ``timeslice_us`` is the cooperative scheduling quantum (section 5:
+    "typically 10-100 µs").  ``policy`` selects the Figure 7 scheduling
+    policies: 'cooperative', 'non_cooperative' or 'round_robin'.
+    """
+
+    cores: int = 16
+    timeslice_us: float = 50.0
+    policy: str = "cooperative"
+    stack: str = "kernel"
+    graph_pool_size: int = 512
+    channel_capacity: int = 4096
+    buffer_pool_bytes: int = 64 * 1024 * 1024
+    buffer_size: int = 16 * 1024
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.timeslice_us <= 0:
+            raise ValueError("timeslice must be positive")
+        if self.policy not in ("cooperative", "non_cooperative", "round_robin"):
+            raise ValueError(f"unknown scheduling policy {self.policy!r}")

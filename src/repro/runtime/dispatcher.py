@@ -1,0 +1,139 @@
+"""Application and graph dispatchers (section 5, items (i) and (ii)).
+
+The **application dispatcher** owns the listening socket of a program
+instance and maps incoming connections to it; accepting a connection is
+CPU work (``stack.accept_us``) performed by :class:`DispatcherTask`
+objects on the scheduler — one per core, mirroring SO_REUSEPORT-style
+accept spreading (mTCP gives this per-core naturally).
+
+The **graph dispatcher** assigns each accepted connection a task graph,
+reusing a graph from the pre-allocated pool when possible; a pool miss
+pays the full construction cost (``GRAPH_BUILD_US`` vs
+``GRAPH_RECYCLE_US``), which the pool-ablation benchmark measures.
+For foldt programs it gathers ``group_size`` connections (the mappers)
+into one graph per reducer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.costs import GRAPH_BUILD_US, GRAPH_RECYCLE_US
+from repro.runtime.scheduler import TaskBase
+
+
+class GraphPool:
+    """Pre-allocated pool of task graphs, modelled as a credit counter."""
+
+    def __init__(self, size: int):
+        self.capacity = size
+        self._available = size
+        self.hits = 0
+        self.misses = 0
+
+    def take(self) -> bool:
+        """True (and a recycle-cost assignment) when the pool has a graph."""
+        if self._available > 0:
+            self._available -= 1
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def give_back(self) -> None:
+        if self._available < self.capacity:
+            self._available += 1
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+
+class GraphDispatcher:
+    """Assigns connections to graphs; pools finished graphs."""
+
+    def __init__(
+        self,
+        build_graph: Callable[[], object],
+        pool_size: int,
+        group_size: int = 1,
+        sink_connector: Optional[Callable[[Callable], None]] = None,
+    ):
+        self._build_graph = build_graph
+        self.pool = GraphPool(pool_size)
+        self.group_size = group_size
+        self._sink_connector = sink_connector
+        self._pending_group: List = []
+        self.active_graphs = 0
+        self.total_graphs = 0
+
+    def assign_cost_us(self) -> float:
+        """CPU cost of the next assignment (pool hit vs miss)."""
+        return GRAPH_RECYCLE_US if self.pool.take() else GRAPH_BUILD_US
+
+    def assign(self, socket) -> None:
+        """Attach ``socket`` to a (possibly new) task graph.
+
+        Rule programs get one graph per connection; foldt programs (those
+        with a sink connector) gather ``group_size`` connections — the
+        mappers — into one combine-tree graph per reducer.
+        """
+        if self._sink_connector is None:
+            graph = self._build_graph()
+            self.active_graphs += 1
+            self.total_graphs += 1
+            graph.bind_client(socket)
+            return
+        self._pending_group.append(socket)
+        if len(self._pending_group) < max(1, self.group_size):
+            return
+        sockets, self._pending_group = self._pending_group, []
+        graph = self._build_graph()
+        self.active_graphs += 1
+        self.total_graphs += 1
+        self._sink_connector(
+            lambda sink_socket: graph.bind_group(sockets, sink_socket)
+        )
+
+    def graph_finished(self, graph) -> None:
+        self.active_graphs -= 1
+        self.pool.give_back()
+
+
+class DispatcherTask(TaskBase):
+    """Scheduler task that performs accept + graph assignment work."""
+
+    def __init__(
+        self,
+        name: str,
+        graph_dispatcher: GraphDispatcher,
+        accept_cost: Callable[[], float],
+    ):
+        super().__init__(name)
+        self._dispatcher = graph_dispatcher
+        self._accept_cost = accept_cost
+        self._pending = deque()
+
+    def enqueue(self, socket) -> None:
+        self._pending.append(socket)
+
+    def has_work(self) -> bool:
+        return bool(self._pending)
+
+    def step(self, budget_us: Optional[float]):
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        dispatcher = self._dispatcher
+        while self._pending:
+            socket = self._pending.popleft()
+            elapsed += self._accept_cost() + dispatcher.assign_cost_us()
+            emissions.append(lambda s=socket: dispatcher.assign(s))
+            self.items_processed += 1
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions

@@ -1,0 +1,415 @@
+"""Task-graph instantiation: from compiled process specs to live tasks.
+
+A :class:`TaskGraph` is one instance of a FLICK process bound to real
+(simulated) connections, matching Figure 3's shapes:
+
+* **rule graphs** (HTTP load balancer, Memcached proxy): one input/output
+  task pair per connection, one compute task executing the routing rules;
+  outbound (backend) connections are created lazily on first use and torn
+  down with the graph — FLICK does not pool backend connections, which is
+  exactly why the paper's non-persistent kernel numbers trail Nginx
+  (section 6.3).
+* **foldt graphs** (Hadoop aggregator): one input task per mapper
+  connection, a binary tree of merge tasks, and one output task to the
+  reducer (Figure 3c: 8 inputs, 7 compute, 1 output).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import RuntimeFlickError
+from repro.lang.compiler import CompiledProgram, FoldTHandler, ProcSpec, RuleHandler
+from repro.lang.values import Record
+from repro.net.stackprofiles import StackProfile
+from repro.runtime.channel import TaskChannel
+from repro.runtime.costs import RuntimeConfig
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import (
+    ChannelArrayView,
+    ComputeTask,
+    InputTask,
+    MergeTask,
+    OutputTask,
+    RawForwardTask,
+    _BufferingSendProxy,
+)
+
+
+class CodecRegistry:
+    """Maps FLICK type names to wire codecs.
+
+    ``parsers[type_name]()`` yields a fresh incremental parser;
+    ``serializers[type_name](record)`` yields ``(bytes, ops)``.
+    """
+
+    def __init__(self):
+        self._parsers: Dict[str, Callable[[], object]] = {}
+        self._serializers: Dict[str, Callable[[Record], Tuple[bytes, float]]] = {}
+
+    def register_parser(self, type_name: str, factory) -> None:
+        self._parsers[type_name] = factory
+
+    def register_serializer(self, type_name: str, fn) -> None:
+        self._serializers[type_name] = fn
+
+    def new_parser(self, type_name: str):
+        try:
+            return self._parsers[type_name]()
+        except KeyError:
+            raise RuntimeFlickError(
+                f"no parser registered for type {type_name!r}"
+            ) from None
+
+    def serialize(self, record: Record) -> Tuple[bytes, float]:
+        fn = self._serializers.get(record.type_name)
+        if fn is None:
+            raise RuntimeFlickError(
+                f"no serializer registered for type {record.type_name!r}"
+            )
+        return fn(record)
+
+    def serializer(self) -> Callable[[Record], Tuple[bytes, float]]:
+        """A dispatching serialiser usable by any output task."""
+        return self.serialize
+
+
+class OutboundTarget:
+    """A backend address an outbound endpoint connects to."""
+
+    __slots__ = ("host", "port")
+
+    def __init__(self, host, port: int):
+        self.host = host
+        self.port = port
+
+
+class Bindings:
+    """How a program's channel endpoints map onto the network.
+
+    ``outbound`` lists backend targets per endpoint (arrays get one
+    connection per target).  Endpoints not listed are inbound.  For foldt
+    programs, ``group_size`` mapper connections are gathered into one
+    graph.  ``value_params(socket)`` supplies non-channel process
+    parameters (e.g. a ``conn_info`` record for LB hashing).
+    """
+
+    def __init__(
+        self,
+        outbound: Optional[Dict[str, List[OutboundTarget]]] = None,
+        group_size: int = 1,
+        value_params: Optional[Callable[[object], Dict[str, object]]] = None,
+        native_foldt: Optional[Tuple[Callable, Callable]] = None,
+    ):
+        self.outbound = outbound or {}
+        self.group_size = group_size
+        self.value_params = value_params
+        #: Optional (key_fn, combine_fn) pair overriding the interpreted
+        #: foldt body — the platform's "custom implementation for
+        #: performance reasons" (§4.3).  combine_fn(left, right) returns
+        #: (record, ops).  Must be observationally equivalent to the FLICK
+        #: body (property-tested).
+        self.native_foldt = native_foldt
+
+
+class TaskGraph:
+    """One live instance of a compiled FLICK process."""
+
+    _next_graph_id = iter(range(1, 1 << 62))
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        spec: ProcSpec,
+        scheduler: Scheduler,
+        tcpnet,
+        platform_host,
+        registry: CodecRegistry,
+        stack: StackProfile,
+        config: RuntimeConfig,
+        bindings: Bindings,
+        globals_store: Dict[str, object],
+        on_finished: Optional[Callable[["TaskGraph"], None]] = None,
+    ):
+        self.graph_id = next(TaskGraph._next_graph_id)
+        self.program = program
+        self.spec = spec
+        self.scheduler = scheduler
+        self.tcpnet = tcpnet
+        self.host = platform_host
+        self.registry = registry
+        self.stack = stack
+        self.config = config
+        self.bindings = bindings
+        self.globals_store = globals_store
+        self.on_finished = on_finished
+        self.tasks: List = []
+        self.compute: Optional[ComputeTask] = None
+        self._client_socket = None
+        self._outbound_sockets: List = []
+        self._finished = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _channel(self, name: str) -> TaskChannel:
+        return TaskChannel(
+            f"g{self.graph_id}:{name}", self.config.channel_capacity
+        )
+
+    def _add_task(self, task) -> None:
+        self.tasks.append(task)
+
+    def _notify(self, task) -> Callable[[], None]:
+        scheduler = self.scheduler
+        return lambda: scheduler.notify_runnable(task)
+
+    def _wire_channel_to(self, channel: TaskChannel, task) -> None:
+        channel.on_runnable = self._notify(task)
+
+    # -- rule graphs (Figure 3a / 3b) ------------------------------------------
+
+    def bind_client(self, client_socket) -> None:
+        """Wire a per-connection rule graph around ``client_socket``."""
+        spec = self.spec
+        if spec.foldt is not None:
+            raise RuntimeFlickError(
+                f"process {spec.name!r} is a foldt aggregation; use "
+                "bind_group"
+            )
+        self._client_socket = client_socket
+        inbox = self._channel("compute.in")
+        compute = ComputeTask(f"g{self.graph_id}:compute", inbox)
+        self.compute = compute
+        self._wire_channel_to(inbox, compute)
+        self._add_task(compute)
+        # Endpoints whose rules all have the shape ``src => sink`` (no
+        # function stages) qualify for the raw-forwarding fast path.
+        self._raw_forward: Dict[str, str] = {}
+        rules_by_source: Dict[str, List] = {}
+        for rule in spec.rules:
+            rules_by_source.setdefault(rule.source, []).append(rule)
+        for source, rules in rules_by_source.items():
+            if len(rules) == 1 and not rules[0].stages and rules[0].sink:
+                self._raw_forward[source] = rules[0].sink
+        self._endpoint_out_channels: Dict[str, TaskChannel] = {}
+
+        context: Dict[str, object] = dict(self.globals_store)
+        client_endpoints = [
+            ep for ep in spec.endpoints if ep.name not in self.bindings.outbound
+        ]
+        if len(client_endpoints) != 1 or client_endpoints[0].is_array:
+            raise RuntimeFlickError(
+                f"process {spec.name!r}: rule graphs need exactly one "
+                "inbound (client) endpoint"
+            )
+        client_ep = client_endpoints[0]
+
+        # Client-facing output task (responses back to the client).
+        if client_ep.writable:
+            out_chan = self._channel(f"{client_ep.name}.out")
+            out_task = OutputTask(
+                f"g{self.graph_id}:{client_ep.name}.out",
+                out_chan,
+                self.registry.serializer(),
+                self.stack,
+                self.config.cores,
+            )
+            out_task.bind_socket(client_socket)
+            self._wire_channel_to(out_chan, out_task)
+            self._add_task(out_task)
+            self._endpoint_out_channels[client_ep.name] = out_chan
+            proxy = _BufferingSendProxy(out_chan.push)
+            compute.register_proxy(proxy)
+            context[client_ep.name] = proxy
+
+        # Outbound endpoints (backends): lazy connections per target.
+        for ep in spec.endpoints:
+            targets = self.bindings.outbound.get(ep.name)
+            if targets is None:
+                continue
+            proxies = [
+                self._outbound_proxy(ep, index, target)
+                for index, target in enumerate(targets)
+            ]
+            for proxy in proxies:
+                compute.register_proxy(proxy)
+            context[ep.name] = (
+                ChannelArrayView(proxies) if ep.is_array else proxies[0]
+            )
+
+        # Client-facing input task.
+        if client_ep.readable:
+            in_task = InputTask(
+                f"g{self.graph_id}:{client_ep.name}.in",
+                self.registry.new_parser(client_ep.read_type),
+                inbox,
+                self.stack,
+                self.config.cores,
+                tag=(client_ep.name, 0),
+                on_eof=self._teardown,
+            )
+            in_task.attach(client_socket, self._notify(in_task))
+            self._add_task(in_task)
+
+        # Value parameters (non-channel process arguments).
+        if self.bindings.value_params is not None:
+            context.update(self.bindings.value_params(client_socket))
+
+        # Install rule handlers with the completed context; raw-forwarded
+        # endpoints bypass the compute task entirely.
+        interp = self.program.interpreter
+        for rule in spec.rules:
+            if rule.source in self._raw_forward:
+                continue
+            handler_context = dict(context)
+            if rule.sink is not None:
+                sink_obj = handler_context.get(rule.sink)
+                if sink_obj is None:
+                    raise RuntimeFlickError(
+                        f"rule sink {rule.sink!r} is not bound"
+                    )
+            compute.add_handler(
+                rule.source, RuleHandler(rule, interp, handler_context)
+            )
+
+    def _outbound_proxy(
+        self, ep, index: int, target: OutboundTarget
+    ) -> _BufferingSendProxy:
+        """A send proxy that lazily opens the backend connection."""
+        out_chan = self._channel(f"{ep.name}[{index}].out")
+        out_task = OutputTask(
+            f"g{self.graph_id}:{ep.name}[{index}].out",
+            out_chan,
+            self.registry.serializer(),
+            self.stack,
+            self.config.cores,
+        )
+        self._wire_channel_to(out_chan, out_task)
+        self._add_task(out_task)
+        state = {"connecting": False}
+
+        def ensure_connected() -> None:
+            if state["connecting"] or out_task.bound:
+                return
+            state["connecting"] = True
+
+            def connected(socket) -> None:
+                self._outbound_sockets.append(socket)
+                out_task.bind_socket(socket)
+                if ep.readable:
+                    raw_sink = self._raw_forward.get(ep.name)
+                    if raw_sink is not None:
+                        in_task = RawForwardTask(
+                            f"g{self.graph_id}:{ep.name}[{index}].fwd",
+                            self._endpoint_out_channels[raw_sink],
+                            self.stack,
+                            self.config.cores,
+                        )
+                    else:
+                        in_task = InputTask(
+                            f"g{self.graph_id}:{ep.name}[{index}].in",
+                            self.registry.new_parser(ep.read_type),
+                            self.compute.inbox,
+                            self.stack,
+                            self.config.cores,
+                            tag=(ep.name, index),
+                        )
+                    in_task.attach(socket, self._notify(in_task))
+                    self._add_task(in_task)
+                self.scheduler.notify_runnable(out_task)
+
+            self.tcpnet.connect(self.host, target.host, target.port, connected)
+
+        def sink(value) -> None:
+            ensure_connected()
+            out_chan.push(value)
+
+        return _BufferingSendProxy(sink)
+
+    # -- foldt graphs (Figure 3c) --------------------------------------------------
+
+    def bind_group(self, mapper_sockets: List, sink_socket) -> None:
+        """Wire a foldt combine tree over ``mapper_sockets``."""
+        spec = self.spec
+        plan = spec.foldt
+        if plan is None:
+            raise RuntimeFlickError(
+                f"process {spec.name!r} has no foldt aggregation"
+            )
+        source_ep = spec.endpoint(plan.source)
+        sink_ep = spec.endpoint(plan.sink)
+        handler = FoldTHandler(plan, self.program.interpreter)
+        if self.bindings.native_foldt is not None:
+            key_fn, combine_fn = self.bindings.native_foldt
+        else:
+            key_fn, combine_fn = handler.key, handler.combine_with_ops
+
+        # Leaf input tasks, one per mapper connection.
+        streams: List[TaskChannel] = []
+        for index, socket in enumerate(mapper_sockets):
+            chan = self._channel(f"{plan.source}[{index}]")
+            in_task = InputTask(
+                f"g{self.graph_id}:{plan.source}[{index}].in",
+                self.registry.new_parser(source_ep.read_type),
+                chan,
+                self.stack,
+                self.config.cores,
+            )
+            in_task.attach(socket, self._notify(in_task))
+            self._add_task(in_task)
+            streams.append(chan)
+
+        # Pairwise merge tree.
+        level = 0
+        while len(streams) > 1:
+            next_streams: List[TaskChannel] = []
+            for pair_idx in range(0, len(streams) - 1, 2):
+                out = self._channel(f"merge.l{level}.{pair_idx // 2}")
+                merge = MergeTask(
+                    f"g{self.graph_id}:merge.l{level}.{pair_idx // 2}",
+                    streams[pair_idx],
+                    streams[pair_idx + 1],
+                    out,
+                    key_fn,
+                    combine_fn,
+                )
+                self._wire_channel_to(streams[pair_idx], merge)
+                self._wire_channel_to(streams[pair_idx + 1], merge)
+                self._add_task(merge)
+                next_streams.append(out)
+            if len(streams) % 2:
+                next_streams.append(streams[-1])
+            streams = next_streams
+            level += 1
+
+        out_task = OutputTask(
+            f"g{self.graph_id}:{plan.sink}.out",
+            streams[0],
+            self.registry.serializer(),
+            self.stack,
+            self.config.cores,
+            close_on_eos=True,
+        )
+        out_task.bind_socket(sink_socket)
+        self._wire_channel_to(streams[0], out_task)
+        self._add_task(out_task)
+        del sink_ep
+
+    # -- teardown -------------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        """Client closed: release outbound connections, report finished."""
+        if self._finished:
+            return
+        self._finished = True
+        for socket in self._outbound_sockets:
+            socket.close()
+        self._outbound_sockets = []
+        if self._client_socket is not None and not self._client_socket.closed:
+            self._client_socket.close()
+        if self.on_finished is not None:
+            self.on_finished(self)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished

@@ -1,0 +1,203 @@
+"""Cooperative task scheduler over simulated worker cores (section 5).
+
+Workers are simulated processes pinned to the middlebox's cores.  Each
+worker owns a FIFO task queue; a task's home worker is chosen by hashing
+its id, so a task is always enqueued on the same queue (cache affinity,
+as in the paper).  Idle workers scavenge work from the longest foreign
+queue, then sleep until new work arrives.
+
+A scheduled task runs until its input is drained or it exceeds the
+timeslice threshold (10-100 µs); the generated code guarantees re-entry
+into the scheduler, which here is the ``step(budget)`` contract every
+task implements.  Three policies reproduce Figure 7:
+
+* ``cooperative`` — fixed timeslice budget (FLICK's policy);
+* ``non_cooperative`` — a scheduled task runs to completion;
+* ``round_robin`` — one data item per scheduling decision.
+
+Timing fidelity: a task's outputs are *deferred* — ``step`` returns both
+the virtual time consumed and a list of emission thunks, which the worker
+executes only after the virtual time has elapsed.  Downstream tasks can
+therefore never observe data before the producing timeslice finished.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.core.errors import RuntimeFlickError
+from repro.core.ids import stable_hash
+from repro.runtime.costs import SCHEDULE_US, STEAL_US
+from repro.sim.engine import Engine, Event
+
+# Task scheduling states.
+IDLE = 0
+QUEUED = 1
+RUNNING = 2
+
+
+class _Worker:
+    __slots__ = ("index", "queue", "wake", "sleeping", "busy_us", "steals")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.queue: Deque = deque()
+        self.wake: Optional[Event] = None
+        self.sleeping = False
+        self.busy_us = 0.0
+        self.steals = 0
+
+
+class Scheduler:
+    """Cooperative scheduler running task objects on N simulated cores."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cores: int,
+        timeslice_us: float = 50.0,
+        policy: str = "cooperative",
+    ):
+        if cores < 1:
+            raise RuntimeFlickError("scheduler needs at least one core")
+        if policy not in ("cooperative", "non_cooperative", "round_robin"):
+            raise RuntimeFlickError(f"unknown scheduling policy {policy!r}")
+        self.engine = engine
+        self.cores = cores
+        self.timeslice_us = timeslice_us
+        self.policy = policy
+        self._workers = [_Worker(i) for i in range(cores)]
+        self._started = False
+        self.tasks_executed = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for worker in self._workers:
+            self.engine.process(self._worker_loop(worker))
+
+    @property
+    def total_busy_us(self) -> float:
+        return sum(w.busy_us for w in self._workers)
+
+    def utilisation(self, duration_us: float) -> float:
+        if duration_us <= 0:
+            return 0.0
+        return self.total_busy_us / (duration_us * self.cores)
+
+    # -- task admission -----------------------------------------------------------
+
+    def home_worker(self, task) -> _Worker:
+        # "a hash over this identifier determines which worker's task
+        # queue the task should be assigned to" (section 5).  A task may
+        # carry an explicit ``home_hint`` (used by microbenchmarks that
+        # need controlled placement).
+        hint = getattr(task, "home_hint", None)
+        if hint is not None:
+            return self._workers[hint % self.cores]
+        return self._workers[stable_hash(task.task_id) % self.cores]
+
+    def notify_runnable(self, task) -> None:
+        """Called when a task gains input; enqueues it exactly once."""
+        if task.sched_state == QUEUED:
+            return
+        if task.sched_state == RUNNING:
+            task.pending_wakeup = True
+            return
+        task.sched_state = QUEUED
+        worker = self.home_worker(task)
+        worker.queue.append(task)
+        self._wake(worker)
+
+    def _wake(self, preferred: _Worker) -> None:
+        if preferred.sleeping:
+            preferred.sleeping = False
+            wake, preferred.wake = preferred.wake, None
+            wake.trigger()
+            return
+        # Home worker is busy: rouse one sleeping worker so it can steal.
+        for worker in self._workers:
+            if worker.sleeping:
+                worker.sleeping = False
+                wake, worker.wake = worker.wake, None
+                wake.trigger()
+                return
+
+    # -- worker loop -----------------------------------------------------------------
+
+    def _budget(self) -> Optional[float]:
+        if self.policy == "cooperative":
+            return self.timeslice_us
+        if self.policy == "round_robin":
+            return 0.0  # exactly one item
+        return None  # non-cooperative: run to completion
+
+    def _worker_loop(self, worker: _Worker):
+        engine = self.engine
+        while True:
+            task, stolen = self._next_task(worker)
+            if task is None:
+                worker.sleeping = True
+                worker.wake = engine.event()
+                yield worker.wake
+                continue
+            task.sched_state = RUNNING
+            task.pending_wakeup = False
+            elapsed, emissions = task.step(self._budget())
+            cost = elapsed + SCHEDULE_US + (STEAL_US if stolen else 0.0)
+            worker.busy_us += cost
+            self.tasks_executed += 1
+            if cost > 0:
+                yield engine.timeout(cost)
+            for emit in emissions:
+                emit()
+            task.sched_state = IDLE
+            if task.has_work() or task.pending_wakeup:
+                task.pending_wakeup = False
+                self.notify_runnable(task)
+
+    def _next_task(self, worker: _Worker):
+        if worker.queue:
+            return worker.queue.popleft(), False
+        # Scavenge from the longest foreign queue.
+        victim = None
+        for other in self._workers:
+            if other is not worker and other.queue:
+                if victim is None or len(other.queue) > len(victim.queue):
+                    victim = other
+        if victim is not None:
+            worker.steals += 1
+            return victim.queue.popleft(), True
+        return None, False
+
+
+class TaskBase:
+    """Minimal scheduling contract every task implements.
+
+    Subclasses provide ``has_work`` and ``step(budget_us)``; ``step``
+    returns ``(virtual_us_consumed, emission_thunks)`` and must respect
+    the budget: ``None`` = run to completion, ``0`` = one item.
+    """
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(self, name: str):
+        self.name = name
+        self.task_id = next(TaskBase._ids)
+        self.sched_state = IDLE
+        self.pending_wakeup = False
+        self.items_processed = 0
+        self.busy_us = 0.0
+
+    def has_work(self) -> bool:
+        raise NotImplementedError
+
+    def step(self, budget_us: Optional[float]):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name} #{self.task_id}>"

@@ -1,0 +1,475 @@
+"""Task implementations: input, compute, output and foldt-merge tasks.
+
+Tasks are the schedulable units of section 5.  Each consumes a stream of
+input values and produces a stream of output values:
+
+* :class:`InputTask` — drains raw bytes from one TCP connection, runs the
+  generated incremental parser, emits typed records; charges the stack's
+  read costs and the parser's ops.
+* :class:`ComputeTask` — executes the compiled routing rules of a FLICK
+  process on tagged messages; charges interpreter ops.
+* :class:`OutputTask` — serialises records (raw fast path for unmodified
+  messages) and writes them to one TCP connection; charges serialiser ops
+  and the stack's write costs.
+* :class:`MergeTask` — one node of a foldt combine tree: a streaming
+  two-way merge that combines equal-key elements (Figure 3c).
+
+All tasks follow the deferred-emission contract of the scheduler: side
+effects produced during a timeslice are returned as thunks and performed
+only after the timeslice's virtual time has elapsed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.errors import RuntimeFlickError
+from repro.lang.values import Record, record_size_bytes
+from repro.net.stackprofiles import StackProfile
+from repro.runtime.channel import EOS, TaskChannel
+from repro.runtime.costs import TASK_DISPATCH_US, ops_to_us
+from repro.runtime.scheduler import TaskBase
+
+
+class InputTask(TaskBase):
+    """Deserialises one connection's byte stream into typed records."""
+
+    def __init__(
+        self,
+        name: str,
+        parser,
+        out: TaskChannel,
+        stack: StackProfile,
+        cores: int,
+        tag: Optional[Tuple[str, int]] = None,
+        on_eof: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(name)
+        self._parser = parser
+        self._out = out
+        self._stack = stack
+        self._cores = cores
+        self._tag = tag
+        self._on_eof = on_eof
+        self._chunks = deque()
+        self._eof_seen = False
+        self._eof_handled = False
+        self._backlog = False  # parser may hold complete messages
+        self._notify: Optional[Callable[[], None]] = None
+
+    # -- socket side --------------------------------------------------------
+
+    def attach(self, socket, notify: Callable[[], None]) -> None:
+        """Bind to a socket; ``notify`` marks this task runnable."""
+        self._notify = notify
+        socket.on_receive(self._on_data)
+        socket.on_close(self._on_close)
+
+    def _on_data(self, data: bytes) -> None:
+        self._chunks.append(data)
+        if self._notify is not None:
+            self._notify()
+
+    def _on_close(self) -> None:
+        self._eof_seen = True
+        if self._notify is not None:
+            self._notify()
+
+    # -- scheduling contract ----------------------------------------------------
+
+    def has_work(self) -> bool:
+        if not self._out.has_space():
+            return False
+        return (
+            bool(self._chunks)
+            or self._backlog
+            or (self._eof_seen and not self._eof_handled)
+        )
+
+    def step(self, budget_us: Optional[float]):
+        # The emitted message count must respect downstream capacity: the
+        # out-channel only fills after emissions run, so track headroom
+        # locally within this timeslice.
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        headroom = self._out.capacity - len(self._out)
+        done = False
+        while not done:
+            # Drain parsed messages first (backlog from a previous slice).
+            while headroom > 0:
+                record = self._parser.poll()
+                if record is None:
+                    self._backlog = False
+                    break
+                elapsed += ops_to_us(self._parser.take_ops())
+                emissions.append(self._make_emit(record))
+                self.items_processed += 1
+                headroom -= 1
+                if budget_us == 0.0 or (
+                    budget_us is not None and elapsed >= budget_us
+                ):
+                    self._backlog = True
+                    done = True
+                    break
+            if done or headroom <= 0:
+                break
+            if self._chunks:
+                chunk = self._chunks.popleft()
+                self._parser.feed(chunk)
+                self._backlog = True
+                elapsed += self._stack.read_cost_us(len(chunk), self._cores)
+                if budget_us is not None and elapsed >= budget_us:
+                    break
+            elif self._eof_seen and not self._eof_handled:
+                self._eof_handled = True
+                elapsed += self._stack.teardown_us
+                out = self._out
+                emissions.append(out.close)
+                if self._on_eof is not None:
+                    emissions.append(self._on_eof)
+                break
+            else:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions
+
+    def _make_emit(self, record: Record) -> Callable[[], None]:
+        out = self._out
+        if self._tag is None:
+            return lambda: out.push(record)
+        tag = self._tag
+        return lambda: out.push((tag[0], tag[1], record))
+
+
+class RawForwardTask(TaskBase):
+    """Forwards one connection's byte stream without parsing.
+
+    Used for pipeline rules of the form ``backends => client`` with no
+    function stages: the compiler knows no computation touches these
+    messages, so the return path copies bytes verbatim (§6.1: "On their
+    return path no computation or parsing is needed, and the data is
+    forwarded without change").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out: TaskChannel,
+        stack: StackProfile,
+        cores: int,
+        on_eof: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(name)
+        self._out = out
+        self._stack = stack
+        self._cores = cores
+        self._on_eof = on_eof
+        self._chunks = deque()
+        self._eof_seen = False
+        self._eof_handled = False
+        self._notify: Optional[Callable[[], None]] = None
+
+    def attach(self, socket, notify: Callable[[], None]) -> None:
+        self._notify = notify
+        socket.on_receive(self._on_data)
+        socket.on_close(self._on_close)
+
+    def _on_data(self, data: bytes) -> None:
+        self._chunks.append(data)
+        if self._notify is not None:
+            self._notify()
+
+    def _on_close(self) -> None:
+        self._eof_seen = True
+        if self._notify is not None:
+            self._notify()
+
+    def has_work(self) -> bool:
+        if not self._out.has_space():
+            return False
+        return bool(self._chunks) or (self._eof_seen and not self._eof_handled)
+
+    def step(self, budget_us: Optional[float]):
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        out = self._out
+        while self.has_work():
+            if self._chunks:
+                chunk = self._chunks.popleft()
+                elapsed += self._stack.read_cost_us(len(chunk), self._cores)
+                emissions.append(lambda c=chunk: out.push(c))
+                self.items_processed += 1
+            else:
+                self._eof_handled = True
+                if self._on_eof is not None:
+                    emissions.append(self._on_eof)
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions
+
+
+class _BufferingSendProxy:
+    """A channel endpoint handed to FLICK code during a compute step.
+
+    Sends are buffered and turned into deferred emissions, preserving the
+    rule that downstream tasks cannot observe data before the producing
+    timeslice completes.
+    """
+
+    __slots__ = ("_sink", "buffered")
+
+    def __init__(self, sink: Callable[[object], None]):
+        self._sink = sink
+        self.buffered: List[object] = []
+
+    def send(self, value) -> None:
+        self.buffered.append(value)
+
+    def flush_thunks(self) -> List[Callable[[], None]]:
+        sink = self._sink
+        thunks = [
+            (lambda v=value: sink(v)) for value in self.buffered
+        ]
+        self.buffered.clear()
+        return thunks
+
+
+class ChannelArrayView:
+    """Indexable view over an array endpoint's send proxies.
+
+    Supports ``len``, indexing and ``ready()`` (for ``all_ready``), which
+    is all the FLICK builtins need.
+    """
+
+    def __init__(self, proxies: List[_BufferingSendProxy]):
+        self._proxies = proxies
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+    def __getitem__(self, index: int):
+        return self._proxies[index]
+
+    def __iter__(self):
+        return iter(self._proxies)
+
+
+class ComputeTask(TaskBase):
+    """Executes compiled FLICK routing rules on tagged messages.
+
+    Input items are ``(endpoint, index, record)`` tuples pushed by input
+    tasks.  ``handlers`` maps endpoint names to the ``RuleHandler``
+    callables produced by the compiler; the handler's context contains
+    the buffering proxies this task owns.
+    """
+
+    def __init__(self, name: str, inbox: TaskChannel):
+        super().__init__(name)
+        self.inbox = inbox
+        self._handlers = {}
+        self._proxies: List[_BufferingSendProxy] = []
+        self._eos_callback: Optional[Callable[[], None]] = None
+
+    def add_handler(self, endpoint: str, handler) -> None:
+        self._handlers.setdefault(endpoint, []).append(handler)
+
+    def register_proxy(self, proxy: _BufferingSendProxy) -> None:
+        self._proxies.append(proxy)
+
+    def on_inbox_eos(self, callback: Callable[[], None]) -> None:
+        self._eos_callback = callback
+
+    def has_work(self) -> bool:
+        return not self.inbox.empty()
+
+    def step(self, budget_us: Optional[float]):
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        while self.has_work():
+            item = self.inbox.pop()
+            if item is EOS:
+                if self._eos_callback is not None:
+                    emissions.append(self._eos_callback)
+                break
+            endpoint, _index, record = item
+            elapsed += TASK_DISPATCH_US
+            handlers = self._handlers.get(endpoint, ())
+            if not handlers:
+                raise RuntimeFlickError(
+                    f"compute task {self.name!r}: no rule consumes messages "
+                    f"from endpoint {endpoint!r}"
+                )
+            for handler in handlers:
+                ops = handler(record)
+                elapsed += ops_to_us(ops)
+            for proxy in self._proxies:
+                emissions.extend(proxy.flush_thunks())
+            self.items_processed += 1
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions
+
+
+class OutputTask(TaskBase):
+    """Serialises records from its inbox onto one TCP connection."""
+
+    def __init__(
+        self,
+        name: str,
+        inbox: TaskChannel,
+        serialize: Callable[[Record], Tuple[bytes, float]],
+        stack: StackProfile,
+        cores: int,
+        close_on_eos: bool = False,
+    ):
+        super().__init__(name)
+        self.inbox = inbox
+        self._serialize = serialize
+        self._stack = stack
+        self._cores = cores
+        self._socket = None
+        self._close_on_eos = close_on_eos
+        self.bytes_out = 0
+
+    def bind_socket(self, socket) -> None:
+        self._socket = socket
+
+    @property
+    def bound(self) -> bool:
+        return self._socket is not None
+
+    def has_work(self) -> bool:
+        return self._socket is not None and not self.inbox.empty()
+
+    def step(self, budget_us: Optional[float]):
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        socket = self._socket
+        while self.has_work():
+            item = self.inbox.pop()
+            if item is EOS:
+                if self._close_on_eos:
+                    elapsed += self._stack.teardown_us
+                    emissions.append(socket.close)
+                break
+            if isinstance(item, (bytes, bytearray)):
+                # Raw forwarding path: bytes cross unparsed and unserialised.
+                data, ops = bytes(item), len(item) / 256.0
+            else:
+                data, ops = self._serialize(item)
+            elapsed += ops_to_us(ops)
+            elapsed += self._stack.write_cost_us(len(data), self._cores)
+            self.bytes_out += len(data)
+            emissions.append(lambda d=data: socket.send(d))
+            self.items_processed += 1
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions
+
+
+class MergeTask(TaskBase):
+    """One foldt tree node: streaming merge-combine of two sorted inputs.
+
+    Emits a sorted stream with unique keys: consecutive equal-key elements
+    (across or within inputs) are combined with the foldt body.  Closes
+    its output when both inputs are exhausted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        left: TaskChannel,
+        right: TaskChannel,
+        out: TaskChannel,
+        key_fn: Callable[[Record], object],
+        combine_fn: Callable[[Record, Record], Tuple[Record, float]],
+    ):
+        super().__init__(name)
+        self._left = left
+        self._right = right
+        self._out = out
+        self._key = key_fn
+        self._combine = combine_fn
+        self._pending: Optional[Record] = None  # last element, not yet final
+        self._done = False
+
+    @staticmethod
+    def _finished(chan: TaskChannel) -> bool:
+        """No further data will ever arrive on ``chan``."""
+        return chan.exhausted() or chan.at_eos()
+
+    def has_work(self) -> bool:
+        if self._done or not self._out.has_space():
+            return False
+        left, right = self._left, self._right
+        if left.ready() and (right.ready() or self._finished(right)):
+            return True
+        if right.ready() and self._finished(left):
+            return True
+        return self._finished(left) and self._finished(right)
+
+    def _take_next(self) -> Optional[Record]:
+        """Pop the smaller-keyed head, if the choice is decidable."""
+        left, right = self._left, self._right
+        lhead = left.peek() if left.ready() else None
+        rhead = right.peek() if right.ready() else None
+        if lhead is not None and rhead is not None:
+            if self._key(lhead) <= self._key(rhead):
+                return left.pop()
+            return right.pop()
+        if lhead is not None and self._finished(right):
+            return left.pop()
+        if rhead is not None and self._finished(left):
+            return right.pop()
+        return None
+
+    def _drain_eos(self) -> None:
+        for chan in (self._left, self._right):
+            if chan.at_eos() and not chan.exhausted():
+                chan.pop()  # consume the EOS marker
+
+    def step(self, budget_us: Optional[float]):
+        elapsed = 0.0
+        emissions: List[Callable[[], None]] = []
+        out = self._out
+        while self.has_work():
+            self._drain_eos()
+            element = self._take_next()
+            if element is not None:
+                elapsed += TASK_DISPATCH_US
+                if self._pending is None:
+                    self._pending = element
+                elif self._key(self._pending) == self._key(element):
+                    self._pending, ops = self._combine(self._pending, element)
+                    elapsed += ops_to_us(ops)
+                else:
+                    done = self._pending
+                    emissions.append(lambda r=done: out.push(r))
+                    self._pending = element
+                self.items_processed += 1
+            elif self._left.exhausted() and self._right.exhausted():
+                if self._pending is not None:
+                    done = self._pending
+                    emissions.append(lambda r=done: out.push(r))
+                    self._pending = None
+                emissions.append(out.close)
+                self._done = True
+                break
+            else:
+                break
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, emissions

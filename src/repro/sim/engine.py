@@ -1,0 +1,164 @@
+"""Discrete-event simulation engine (virtual time in microseconds).
+
+This is the substrate that replaces the paper's physical testbed: all
+networking, scheduling and CPU accounting in the reproduction run on this
+engine's virtual clock.  It is deliberately small and deterministic:
+
+* a binary heap of ``(time, seq, callback)`` events — ``seq`` breaks ties
+  so same-time events fire in schedule order, making runs reproducible;
+* generator-based **processes**: a process is a Python generator that
+  yields :class:`Timeout` or :class:`Event` objects and is resumed when
+  they fire (the idiom used by client workloads and worker loops);
+* :class:`Event` — a one-shot signal with a payload that any number of
+  processes/callbacks can wait on.
+
+No wall-clock time is involved anywhere; ``engine.now`` is the only clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+
+
+class Event:
+    """A one-shot signal; processes wait on it, someone triggers it."""
+
+    __slots__ = ("_engine", "_triggered", "_payload", "_callbacks")
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+        self._triggered = False
+        self._payload = None
+        self._callbacks: List[Callable] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def payload(self):
+        return self._payload
+
+    def trigger(self, payload=None) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._payload = payload
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._engine.schedule(0.0, callback, payload)
+
+    def add_callback(self, callback: Callable) -> None:
+        if self._triggered:
+            self._engine.schedule(0.0, callback, self._payload)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` microseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class Process:
+    """A running generator-based process."""
+
+    __slots__ = ("_engine", "_gen", "finished", "result")
+
+    def __init__(self, engine: "Engine", gen: Generator):
+        self._engine = engine
+        self._gen = gen
+        self.finished = Event(engine)
+        self.result = None
+        engine.schedule(0.0, self._resume, None)
+
+    def _resume(self, payload) -> None:
+        try:
+            yielded = self._gen.send(payload)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished.trigger(stop.value)
+            return
+        if isinstance(yielded, Timeout):
+            self._engine.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._resume)
+        elif isinstance(yielded, Process):
+            yielded.finished.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process yielded unsupported object {yielded!r}"
+            )
+
+
+class Engine:
+    """The event loop: schedule callbacks, spawn processes, run."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` µs of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay})")
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, callback, args)
+        )
+        self._seq += 1
+
+    def at(self, when: float, callback: Callable, *args) -> None:
+        """Run ``callback`` at absolute virtual time ``when``."""
+        self.schedule(when - self.now, callback, *args)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def process(self, gen: Generator) -> Process:
+        """Spawn a generator as a simulated process."""
+        return Process(self, gen)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap empties or ``until`` is reached.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                when, _, callback, args = self._heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = when
+                callback(*args)
+            if until is not None:
+                self.now = max(self.now, until)
+            return self.now
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of scheduled events (for tests/diagnostics)."""
+        return len(self._heap)

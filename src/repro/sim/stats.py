@@ -1,0 +1,108 @@
+"""Measurement helpers for simulated experiments.
+
+:class:`LatencySeries` collects per-request latencies; :class:`Meter`
+counts events over the run.  Both convert virtual-µs durations into the
+units the paper's figures use (thousand requests/s, ms, Mb/s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.units import millis, rate_per_second, throughput_mbps
+
+
+class LatencySeries:
+    """Collects latency samples (virtual µs)."""
+
+    def __init__(self):
+        self._samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative latency {latency_us}")
+        self._samples.append(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean_us(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def mean_ms(self) -> float:
+        return millis(self.mean_us())
+
+    def percentile_us(self, p: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def max_us(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+
+class Meter:
+    """Counts discrete events and bytes over a measured interval."""
+
+    def __init__(self):
+        self.events = 0
+        self.bytes = 0
+        self.start_us = 0.0
+        self.end_us = 0.0
+
+    def begin(self, now_us: float) -> None:
+        self.start_us = now_us
+
+    def finish(self, now_us: float) -> None:
+        self.end_us = now_us
+
+    def add(self, nbytes: int = 0) -> None:
+        self.events += 1
+        self.bytes += nbytes
+
+    @property
+    def duration_us(self) -> float:
+        return max(self.end_us - self.start_us, 0.0)
+
+    def rate_per_sec(self) -> float:
+        return rate_per_second(self.events, self.duration_us)
+
+    def kreqs_per_sec(self) -> float:
+        return self.rate_per_sec() / 1_000.0
+
+    def mbps(self) -> float:
+        return throughput_mbps(self.bytes, self.duration_us)
+
+
+@dataclass
+class RunResult:
+    """One experiment data point (a single plotted marker in a figure)."""
+
+    system: str
+    x: float  # the figure's x value (clients, cores, ...)
+    throughput: float = 0.0  # in the figure's unit
+    latency_ms: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (
+            f"{self.system:<14} x={self.x:<8g} thr={self.throughput:<12.1f} "
+            f"lat={self.latency_ms:.3f}ms"
+        )

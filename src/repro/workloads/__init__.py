@@ -1,0 +1,1 @@
+"""Workload generators: HTTP clients, Memcached clients, Hadoop mappers."""

@@ -1,0 +1,119 @@
+"""Simulated backend servers (never the bottleneck, per section 6.2).
+
+The evaluation deploys 10 Apache web servers / 10 Memcached servers
+behind the middlebox; their own CPU is explicitly provisioned so they do
+not limit throughput, so these models respond after a small fixed service
+delay rather than contending for simulated cores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.grammar.protocols import http
+from repro.grammar.protocols import memcached as mc
+from repro.net.simnet import Host
+from repro.net.tcp import TcpNetwork, TcpSocket
+from repro.sim.engine import Engine
+
+
+class BackendWebServer:
+    """Responds to every HTTP request with a fixed payload."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcpnet: TcpNetwork,
+        host: Host,
+        port: int = 8080,
+        body: bytes = b"x" * 137,
+        service_us: float = 15.0,
+    ):
+        self.engine = engine
+        self.host = host
+        self.body = body
+        self.service_us = service_us
+        self.requests_served = 0
+        tcpnet.listen(host, port, self._accept)
+
+    def _accept(self, socket: TcpSocket) -> None:
+        parser = http.HttpRequestParser()
+
+        def on_data(data: bytes) -> None:
+            parser.feed(data)
+            for request in parser.messages():
+                self.requests_served += 1
+                response = http.make_response(body=self.body)
+                close = not http.wants_keep_alive(request)
+                self.engine.schedule(
+                    self.service_us,
+                    self._respond,
+                    socket,
+                    response.raw,
+                    close,
+                )
+
+        socket.on_receive(on_data)
+
+    @staticmethod
+    def _respond(socket: TcpSocket, raw: bytes, close: bool) -> None:
+        if socket.closed:
+            return
+        socket.send(raw)
+        if close:
+            socket.close()
+
+
+class BackendMemcachedServer:
+    """A Memcached server owning one shard of the key space.
+
+    GETK requests are answered with a value derived from the key via
+    ``value_fn`` (deterministic, so tests can verify end-to-end content).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcpnet: TcpNetwork,
+        host: Host,
+        port: int = 11211,
+        value_fn: Optional[Callable[[str], bytes]] = None,
+        service_us: float = 8.0,
+    ):
+        self.engine = engine
+        self.host = host
+        self.value_fn = value_fn or (lambda key: f"value-of-{key}".encode())
+        self.service_us = service_us
+        self.requests_served = 0
+        self.store: Dict[str, bytes] = {}
+        tcpnet.listen(host, port, self._accept)
+
+    def _accept(self, socket: TcpSocket) -> None:
+        parser = mc.full_codec().parser()
+
+        def on_data(data: bytes) -> None:
+            parser.feed(data)
+            for request in parser.messages():
+                self.requests_served += 1
+                self.engine.schedule(
+                    self.service_us, self._respond, socket, request
+                )
+
+        socket.on_receive(on_data)
+
+    def _respond(self, socket: TcpSocket, request) -> None:
+        if socket.closed:
+            return
+        opcode = request.opcode
+        key = request.key
+        if opcode == mc.OP_SET:
+            self.store[key] = bytes(request.value)
+            response = mc.make_response(opcode, key, b"", opaque=request.opaque)
+        else:
+            value = self.store.get(key)
+            if value is None:
+                value = self.value_fn(key)
+            response = mc.make_response(
+                opcode, key, value, opaque=request.opaque
+            )
+        socket.send(mc.encode(response))

@@ -1,0 +1,126 @@
+"""libmemcached-style closed-loop Memcached client population (§6.2).
+
+128 clients issue binary-protocol GETK requests over persistent
+connections; each client waits for the response before sending the next
+request ("Clients send a single request and wait for a response before
+sending the next request").  Keys are drawn deterministically from a
+configurable key space so that routing spreads over backend shards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.ids import stable_hash
+from repro.grammar.protocols import memcached as mc
+from repro.net.simnet import Host
+from repro.net.tcp import TcpNetwork, TcpSocket
+from repro.sim.engine import Engine
+from repro.sim.stats import LatencySeries, Meter
+
+
+class MemcachedClientPopulation:
+    """Closed-loop binary-protocol clients driving one proxy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcpnet: TcpNetwork,
+        client_hosts: List[Host],
+        target: Host,
+        port: int,
+        concurrency: int = 128,
+        requests_per_client: int = 50,
+        warmup_requests: int = 5,
+        key_space: int = 10_000,
+        opcode: int = mc.OP_GETK,
+    ):
+        self.engine = engine
+        self.tcpnet = tcpnet
+        self.client_hosts = client_hosts
+        self.target = target
+        self.port = port
+        self.concurrency = concurrency
+        self.requests_per_client = requests_per_client
+        self.warmup_requests = warmup_requests
+        self.key_space = key_space
+        self.opcode = opcode
+        self.latency = LatencySeries()
+        self.meter = Meter()
+        self.errors = 0
+        self._done = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("population already started")
+        self._started = True
+        self.meter.begin(self.engine.now)
+        for index in range(self.concurrency):
+            host = self.client_hosts[index % len(self.client_hosts)]
+            _McClient(self, index, host).start()
+
+    @property
+    def finished(self) -> bool:
+        return self._done == self.concurrency
+
+    def _client_done(self) -> None:
+        self._done += 1
+        if self.finished:
+            self.meter.finish(self.engine.now)
+
+    def kreqs_per_sec(self) -> float:
+        return self.meter.kreqs_per_sec()
+
+    def mean_latency_ms(self) -> float:
+        return self.latency.mean_ms()
+
+
+class _McClient:
+    def __init__(self, pop: MemcachedClientPopulation, index: int, host: Host):
+        self.pop = pop
+        self.index = index
+        self.host = host
+        self.sent = 0
+        self.socket: Optional[TcpSocket] = None
+        self.parser = mc.full_codec().parser()
+        self.request_started = 0.0
+        self.last_key = ""
+
+    def start(self) -> None:
+        def connected(socket: TcpSocket) -> None:
+            self.socket = socket
+            socket.on_receive(self._on_data)
+            self._send_next()
+
+        self.pop.tcpnet.connect(
+            self.host, self.pop.target, self.pop.port, connected
+        )
+
+    def _key_for(self, n: int) -> str:
+        bucket = stable_hash((self.index, n)) % self.pop.key_space
+        return f"key-{bucket:06d}"
+
+    def _send_next(self) -> None:
+        if self.sent >= self.pop.requests_per_client:
+            self.pop._client_done()
+            return
+        self.last_key = self._key_for(self.sent)
+        request = mc.make_request(
+            self.pop.opcode, self.last_key, opaque=self.index
+        )
+        self.request_started = self.pop.engine.now
+        self.sent += 1
+        self.socket.send(mc.encode(request))
+
+    def _on_data(self, data: bytes) -> None:
+        self.parser.feed(data)
+        for response in self.parser.messages():
+            latency = self.pop.engine.now - self.request_started
+            if response.magic_code != mc.MAGIC_RESPONSE:
+                self.pop.errors += 1
+            if self.sent > self.pop.warmup_requests:
+                self.pop.latency.record(latency)
+                self.pop.meter.add(len(response.raw or b""))
+            self._send_next()
+            return

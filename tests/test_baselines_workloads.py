@@ -1,0 +1,194 @@
+"""Baseline server models and workload generators."""
+
+import pytest
+
+from repro.baselines.apache import ApacheServer
+from repro.baselines.base import CorePool
+from repro.baselines.moxi import MoxiProxy
+from repro.baselines.nginx import NginxServer
+from repro.core.units import GBPS
+from repro.net.tcp import TcpNetwork
+from repro.runtime.graph import OutboundTarget
+from repro.sim.engine import Engine
+from repro.workloads.backends import BackendMemcachedServer, BackendWebServer
+from repro.workloads.hadoop_mappers import generate_mapper_output, make_word
+from repro.workloads.http_clients import HttpClientPopulation
+from repro.workloads.memcached_clients import MemcachedClientPopulation
+
+
+class TestCorePool:
+    def test_serial_on_one_core(self):
+        engine = Engine()
+        pool = CorePool(engine, 1)
+        done = []
+        pool.submit(10, lambda: done.append(engine.now))
+        pool.submit(10, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [10, 20]
+
+    def test_parallel_on_two_cores(self):
+        engine = Engine()
+        pool = CorePool(engine, 2)
+        done = []
+        pool.submit(10, lambda: done.append(engine.now))
+        pool.submit(10, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [10, 10]
+
+    def test_busy_accounting(self):
+        engine = Engine()
+        pool = CorePool(engine, 4)
+        for _ in range(8):
+            pool.submit(5, lambda: None)
+        engine.run()
+        assert pool.busy_us == 40
+        assert pool.jobs == 8
+
+
+def _topology():
+    engine = Engine()
+    net = TcpNetwork(engine)
+    mbox = net.add_host("mbox", 10 * GBPS, "core")
+    clients = [net.add_host(f"c{i}", 1 * GBPS, "edge") for i in range(4)]
+    backends = [net.add_host(f"b{i}", 1 * GBPS, "edge") for i in range(4)]
+    return engine, net, mbox, clients, backends
+
+
+class TestHttpBaselines:
+    @pytest.mark.parametrize("server_cls", [ApacheServer, NginxServer])
+    def test_static_mode_serves_requests(self, server_cls):
+        engine, net, mbox, clients, _ = _topology()
+        server = server_cls(engine, net, mbox, 80, cores=4)
+        pop = HttpClientPopulation(
+            engine, net, clients, mbox, 80, 8, True, 10, 1
+        )
+        pop.start()
+        engine.run()
+        assert pop.finished and pop.errors == 0
+        assert server.requests_served == 8 * 10
+
+    @pytest.mark.parametrize("server_cls", [ApacheServer, NginxServer])
+    def test_lb_mode_forwards_to_backends(self, server_cls):
+        engine, net, mbox, clients, backend_hosts = _topology()
+        backends = [BackendWebServer(engine, net, b, 8080) for b in backend_hosts]
+        targets = [OutboundTarget(b, 8080) for b in backend_hosts]
+        server_cls(engine, net, mbox, 80, cores=4, backends=targets)
+        pop = HttpClientPopulation(
+            engine, net, clients, mbox, 80, 6, True, 8, 1
+        )
+        pop.start()
+        engine.run()
+        assert pop.finished and pop.errors == 0
+        assert sum(b.requests_served for b in backends) == 6 * 8
+
+    def test_nginx_faster_than_apache(self):
+        def run(server_cls):
+            engine, net, mbox, clients, _ = _topology()
+            server_cls(engine, net, mbox, 80, cores=8)
+            pop = HttpClientPopulation(
+                engine, net, clients, mbox, 80, 40, True, 15, 2
+            )
+            pop.start()
+            engine.run()
+            return pop.kreqs_per_sec()
+
+        assert run(NginxServer) > run(ApacheServer)
+
+    def test_apache_degrades_with_concurrency(self):
+        engine, net, mbox, clients, _ = _topology()
+        server = ApacheServer(engine, net, mbox, 80, cores=4)
+        server.active_connections = 1600
+        high = server.request_overhead_us()
+        server.active_connections = 100
+        low = server.request_overhead_us()
+        assert high > 10 * low
+
+
+class TestMoxi:
+    def test_routes_and_responds(self):
+        engine, net, mbox, clients, backend_hosts = _topology()
+        backends = [
+            BackendMemcachedServer(engine, net, b, 11211)
+            for b in backend_hosts
+        ]
+        targets = [OutboundTarget(b, 11211) for b in backend_hosts]
+        MoxiProxy(engine, net, mbox, 11211, targets, cores=4)
+        pop = MemcachedClientPopulation(
+            engine, net, clients, mbox, 11211, 8, 10, 1, key_space=32
+        )
+        pop.start()
+        engine.run()
+        assert pop.finished and pop.errors == 0
+        assert sum(b.requests_served for b in backends) == 8 * 10
+
+    def test_contention_grows_past_four_cores(self):
+        engine, net, mbox, _, backend_hosts = _topology()
+        targets = [OutboundTarget(b, 11211) for b in backend_hosts]
+        BackendMemcachedServer(engine, net, backend_hosts[0], 11211)
+        four = MoxiProxy(engine, net, mbox, 11211, targets, cores=4)
+        sixteen = MoxiProxy(engine, net, mbox, 11212, targets, cores=16)
+        assert sixteen.request_cost_us() > four.request_cost_us()
+
+
+class TestWorkloadGenerators:
+    def test_make_word_length_and_determinism(self):
+        for n in (8, 12, 16):
+            word = make_word(7, n)
+            assert len(word) == n
+            assert word == make_word(7, n)
+
+    def test_mapper_output_sorted_unique(self):
+        pairs = generate_mapper_output(0, 8_000, 8, vocabulary=64)
+        keys = [k for k, _ in pairs]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_mapper_output_word_length(self):
+        pairs = generate_mapper_output(1, 4_000, 12, vocabulary=32)
+        assert all(len(k) == 12 for k, _ in pairs)
+
+    def test_mapper_outputs_differ_by_index(self):
+        a = generate_mapper_output(0, 4_000, 8, vocabulary=64)
+        b = generate_mapper_output(1, 4_000, 8, vocabulary=64)
+        assert a != b
+
+    def test_backend_web_server_closes_non_keepalive(self):
+        engine, net, mbox, clients, backend_hosts = _topology()
+        server = BackendWebServer(engine, net, backend_hosts[0], 8080)
+        from repro.grammar.protocols import http
+
+        closed = []
+
+        def go(sock):
+            sock.on_receive(lambda d: None)
+            sock.on_close(lambda: closed.append(True))
+            sock.send(http.make_request("GET", "/", keep_alive=False).raw)
+
+        net.connect(clients[0], backend_hosts[0], 8080, go)
+        engine.run()
+        assert closed == [True]
+        assert server.requests_served == 1
+
+    def test_memcached_backend_set_then_get(self):
+        engine, net, mbox, clients, backend_hosts = _topology()
+        server = BackendMemcachedServer(engine, net, backend_hosts[0], 11211)
+        from repro.grammar.protocols import memcached as mc
+
+        got = []
+
+        def go(sock):
+            parser = mc.full_codec().parser()
+
+            def on_data(d):
+                parser.feed(d)
+                for rec in parser.messages():
+                    got.append(rec)
+
+            sock.on_receive(on_data)
+            sock.send(mc.encode(mc.make_request(mc.OP_SET, "k", b"stored")))
+            sock.send(mc.encode(mc.make_request(mc.OP_GETK, "k")))
+
+        net.connect(clients[0], backend_hosts[0], 11211, go)
+        engine.run()
+        assert len(got) == 2
+        assert got[1].value == b"stored"

@@ -1,0 +1,137 @@
+"""Lexer unit tests: tokens, indentation, literals, errors."""
+
+import pytest
+
+from repro.core.errors import FlickSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import DEDENT, EOF, INDENT, INT, NAME, NEWLINE, STRING
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source, kind):
+    return [t.value for t in tokenize(source) if t.kind == kind]
+
+
+class TestBasicTokens:
+    def test_names_and_keywords(self):
+        toks = tokenize("proc foo bar type")
+        assert [t.kind for t in toks[:-2]] == ["proc", NAME, NAME, "type"]
+
+    def test_name_values(self):
+        assert values("alpha beta_2 _private", NAME) == [
+            "alpha",
+            "beta_2",
+            "_private",
+        ]
+
+    def test_decimal_int(self):
+        assert values("42 0 1234", INT) == [42, 0, 1234]
+
+    def test_hex_int(self):
+        assert values("0x0c 0xFF 0x0", INT) == [12, 255, 0]
+
+    def test_malformed_hex(self):
+        with pytest.raises(FlickSyntaxError):
+            tokenize("0x")
+
+    def test_string_literal(self):
+        assert values('"hello world"', STRING) == ["hello world"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\nb\tc\\d"', STRING) == ["a\nb\tc\\d"]
+
+    def test_single_quoted_string(self):
+        assert values("'abc'", STRING) == ["abc"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(FlickSyntaxError):
+            tokenize('"unterminated')
+
+    def test_unknown_escape(self):
+        with pytest.raises(FlickSyntaxError):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(FlickSyntaxError):
+            tokenize("a ; b")
+
+
+class TestOperators:
+    def test_arrow_operators(self):
+        assert kinds("a => b")[:3] == [NAME, "=>", NAME]
+
+    def test_assignment_vs_equality(self):
+        assert kinds("a := b = c")[:5] == [NAME, ":=", NAME, "=", NAME]
+
+    def test_comparison_operators(self):
+        assert kinds("a <> b <= c >= d")[:7] == [
+            NAME, "<>", NAME, "<=", NAME, ">=", NAME,
+        ]
+
+    def test_fun_result_arrow(self):
+        assert kinds("-> (cmd)")[:4] == ["->", "(", NAME, ")"]
+
+    def test_underscore_token(self):
+        assert kinds("_ : string")[:3] == ["_", ":", NAME]
+
+    def test_channel_direction_tokens(self):
+        assert kinds("-/cmd")[:3] == ["-", "/", NAME]
+
+
+class TestIndentation:
+    def test_indent_dedent_pairing(self):
+        ks = kinds("a:\n    b\nc\n")
+        assert ks.count(INDENT) == 1
+        assert ks.count(DEDENT) == 1
+        assert ks.index(INDENT) < ks.index(DEDENT)
+
+    def test_nested_blocks(self):
+        src = "a:\n    b:\n        c\n    d\ne\n"
+        ks = kinds(src)
+        assert ks.count(INDENT) == 2
+        assert ks.count(DEDENT) == 2
+
+    def test_dedents_emitted_at_eof(self):
+        ks = kinds("a:\n    b:\n        c")
+        assert ks.count(DEDENT) == 2
+        assert ks[-1] == EOF
+
+    def test_blank_lines_ignored(self):
+        assert kinds("a\n\n\nb\n") == kinds("a\nb\n")
+
+    def test_comment_only_lines_ignored(self):
+        assert kinds("a\n# comment\nb\n") == kinds("a\nb\n")
+
+    def test_inconsistent_indentation_rejected(self):
+        with pytest.raises(FlickSyntaxError):
+            tokenize("a:\n        b\n    c\n")
+
+    def test_implicit_line_joining_in_parens(self):
+        src = "f(a,\n   b,\n   c)"
+        ks = kinds(src)
+        assert INDENT not in ks
+        assert ks.count(NEWLINE) == 1  # only the final one
+
+    def test_trailing_comment(self):
+        assert values("x # trailing\n", NAME) == ["x"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        cd = [t for t in toks if t.value == "cd"][0]
+        assert cd.location.line == 2
+        assert cd.location.column == 3
+
+    def test_filename_recorded(self):
+        toks = tokenize("x", filename="prog.flick")
+        assert toks[0].location.filename == "prog.flick"
+
+    def test_error_carries_location(self):
+        with pytest.raises(FlickSyntaxError) as err:
+            tokenize("x\n  y\n ;")
+        assert err.value.location is not None
+        assert err.value.location.line == 3

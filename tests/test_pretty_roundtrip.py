@@ -1,0 +1,78 @@
+"""Pretty-printer round-trip: format(parse(x)) re-parses to the same AST."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.lang.pretty import format_program
+from tests.test_parser import HADOOP, MEMCACHED_FULL, MEMCACHED_SHORT
+
+EXTRA = """
+type point: record
+    x : integer {size=4}
+    y : integer {size=4}
+    label : string {size=8}
+
+proc Echo: (point/point client)
+    client => shift() => client
+
+fun shift: (p: point) -> (point)
+    if p.x > 0 and not (p.y = 0):
+        point(p.x + 1, p.y - 1, p.label)
+    else:
+        point(0 - p.x, p.y * 2, concat(p.label, "'"))
+"""
+
+
+def _strip_locations(program):
+    """Compare programs structurally via their canonical rendering."""
+    return format_program(program)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [MEMCACHED_SHORT, MEMCACHED_FULL, HADOOP, EXTRA],
+    ids=["memcached-short", "memcached-full", "hadoop", "extra"],
+)
+def test_format_reparses_to_fixed_point(source):
+    first = format_program(parse(source))
+    second = format_program(parse(first))
+    assert first == second
+
+
+@pytest.mark.parametrize(
+    "source",
+    [MEMCACHED_SHORT, MEMCACHED_FULL, HADOOP, EXTRA],
+    ids=["memcached-short", "memcached-full", "hadoop", "extra"],
+)
+def test_formatted_program_still_compiles(source):
+    from repro.lang.compiler import compile_source
+
+    rendered = format_program(parse(source))
+    compile_source(rendered)
+
+
+def test_declaration_counts_preserved():
+    prog = parse(MEMCACHED_FULL)
+    again = parse(format_program(prog))
+    assert len(again.types) == len(prog.types)
+    assert len(again.procs) == len(prog.procs)
+    assert len(again.funs) == len(prog.funs)
+
+
+def test_anonymous_fields_preserved():
+    prog = parse(MEMCACHED_FULL)
+    again = parse(format_program(prog))
+    original = [f.name for f in prog.type_named("cmd").fields]
+    rendered = [f.name for f in again.type_named("cmd").fields]
+    assert original == rendered
+
+
+def test_string_escaping_round_trip():
+    src = (
+        'fun f: (x: string) -> (string)\n'
+        '    concat(x, "line\\nbreak\\"quote\\"")\n'
+    )
+    rendered = format_program(parse(src))
+    again = parse(rendered)
+    stmt = again.fun_named("f").body[0]
+    assert "line\nbreak" in stmt.expr.args[1].value

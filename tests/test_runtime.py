@@ -1,0 +1,287 @@
+"""Runtime unit tests: channels, buffers, scheduler, tasks, dispatchers."""
+
+import pytest
+
+from repro.core.errors import BufferPoolExhausted, ChannelClosed, ChannelFull
+from repro.lang.values import Record
+from repro.runtime.buffers import BufferPool
+from repro.runtime.channel import EOS, TaskChannel
+from repro.runtime.dispatcher import GraphPool
+from repro.runtime.scheduler import Scheduler, TaskBase
+from repro.runtime.task import MergeTask
+from repro.sim.engine import Engine
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        chan = TaskChannel("c", 8)
+        for i in range(3):
+            chan.push(i)
+        assert [chan.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        chan = TaskChannel("c", 2)
+        chan.push(1)
+        chan.push(2)
+        assert not chan.has_space()
+        with pytest.raises(ChannelFull):
+            chan.push(3)
+
+    def test_eos_after_close(self):
+        chan = TaskChannel("c", 8)
+        chan.push("last")
+        chan.close()
+        assert chan.pop() == "last"
+        assert chan.pop() is EOS
+        assert chan.exhausted()
+
+    def test_push_after_close_rejected(self):
+        chan = TaskChannel("c", 8)
+        chan.close()
+        with pytest.raises(ChannelClosed):
+            chan.push(1)
+
+    def test_pop_empty_rejected(self):
+        chan = TaskChannel("c", 8)
+        with pytest.raises(ChannelClosed):
+            chan.pop()
+
+    def test_runnable_notification(self):
+        chan = TaskChannel("c", 8)
+        pings = []
+        chan.on_runnable = lambda: pings.append(1)
+        chan.push("x")
+        chan.close()
+        assert len(pings) == 2
+
+    def test_peek_skips_nothing(self):
+        chan = TaskChannel("c", 8)
+        chan.push("a")
+        assert chan.peek() == "a"
+        assert chan.pop() == "a"
+
+    def test_at_eos_only_when_drained(self):
+        chan = TaskChannel("c", 8)
+        chan.push("a")
+        chan.close()
+        assert not chan.at_eos()
+        chan.pop()
+        assert chan.at_eos()
+
+    def test_high_water_tracked(self):
+        chan = TaskChannel("c", 8)
+        for i in range(5):
+            chan.push(i)
+        for _ in range(5):
+            chan.pop()
+        assert chan.high_water == 5
+
+
+class TestBufferPool:
+    def test_acquire_release(self):
+        pool = BufferPool(64 * 1024, 16 * 1024)
+        n = pool.acquire(40 * 1024)
+        assert n == 3
+        assert pool.in_use == 3
+        pool.release(n)
+        assert pool.in_use == 0
+
+    def test_exhaustion(self):
+        pool = BufferPool(32 * 1024, 16 * 1024)
+        pool.acquire(32 * 1024)
+        with pytest.raises(BufferPoolExhausted):
+            pool.acquire(1)
+
+    def test_high_water(self):
+        pool = BufferPool(64 * 1024, 16 * 1024)
+        a = pool.acquire(16 * 1024)
+        b = pool.acquire(32 * 1024)
+        pool.release(a)
+        pool.release(b)
+        assert pool.high_water == 3
+
+    def test_over_release_rejected(self):
+        pool = BufferPool(32 * 1024, 16 * 1024)
+        with pytest.raises(ValueError):
+            pool.release(1)
+
+
+class _CountingTask(TaskBase):
+    """Processes `n` items, `cost_us` each."""
+
+    def __init__(self, name, n, cost_us, engine):
+        super().__init__(name)
+        self.remaining = n
+        self.cost_us = cost_us
+        self.engine = engine
+        self.finished_at = None
+
+    def has_work(self):
+        return self.remaining > 0
+
+    def step(self, budget_us):
+        elapsed = 0.0
+        while self.remaining > 0:
+            self.remaining -= 1
+            elapsed += self.cost_us
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        emissions = []
+        if self.remaining == 0 and self.finished_at is None:
+            emissions.append(self._finish)
+        return elapsed, emissions
+
+    def _finish(self):
+        self.finished_at = self.engine.now
+
+
+class TestScheduler:
+    def test_single_task_runs_to_completion(self):
+        engine = Engine()
+        sched = Scheduler(engine, 1, 50.0)
+        task = _CountingTask("t", 10, 5.0, engine)
+        sched.start()
+        sched.notify_runnable(task)
+        engine.run()
+        assert task.remaining == 0
+        assert task.finished_at is not None
+
+    def test_timeslice_respected(self):
+        """No single scheduling of a task exceeds timeslice + one item."""
+        engine = Engine()
+        sched = Scheduler(engine, 1, timeslice_us=20.0)
+        task = _CountingTask("t", 100, 6.0, engine)
+        sched.start()
+        sched.notify_runnable(task)
+        engine.run()
+        # 100 items x 6us = 600us of work in >= 600/24 slices
+        assert sched.tasks_executed >= 600 / 24
+
+    def test_work_stealing(self):
+        engine = Engine()
+        sched = Scheduler(engine, 4, 50.0)
+        tasks = [_CountingTask(f"t{i}", 40, 5.0, engine) for i in range(8)]
+        sched.start()
+        for t in tasks:
+            sched.notify_runnable(t)
+        engine.run()
+        assert all(t.remaining == 0 for t in tasks)
+        # With 8 tasks on 4 cores, the makespan benefits from stealing:
+        # total work 1600us over 4 cores ~ 400us + overheads.
+        assert engine.now < 1600
+
+    def test_parallel_speedup(self):
+        def run(cores):
+            engine = Engine()
+            sched = Scheduler(engine, cores, 50.0)
+            tasks = [_CountingTask(f"t{i}", 50, 4.0, engine) for i in range(16)]
+            sched.start()
+            for t in tasks:
+                sched.notify_runnable(t)
+            engine.run()
+            return engine.now
+
+        assert run(8) < run(1) / 4
+
+    def test_no_duplicate_enqueue(self):
+        engine = Engine()
+        sched = Scheduler(engine, 2, 50.0)
+        task = _CountingTask("t", 5, 1.0, engine)
+        sched.start()
+        for _ in range(10):
+            sched.notify_runnable(task)
+        engine.run()
+        assert task.remaining == 0
+
+    def test_utilisation_bounded(self):
+        engine = Engine()
+        sched = Scheduler(engine, 2, 50.0)
+        tasks = [_CountingTask(f"t{i}", 30, 5.0, engine) for i in range(4)]
+        sched.start()
+        for t in tasks:
+            sched.notify_runnable(t)
+        engine.run()
+        assert 0.0 < sched.utilisation(engine.now) <= 1.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(Exception):
+            Scheduler(Engine(), 2, 50.0, "fifo")
+
+
+def _mk(key, value="1"):
+    return Record("kv", {"key": key, "value": value})
+
+
+class TestMergeTask:
+    def _run_merge(self, left_items, right_items):
+        engine = Engine()
+        sched = Scheduler(engine, 1, 50.0)
+        left = TaskChannel("l", 64)
+        right = TaskChannel("r", 64)
+        out = TaskChannel("o", 64)
+        merge = MergeTask(
+            "m", left, right, out,
+            key_fn=lambda r: r.key,
+            combine_fn=lambda a, b: (
+                Record("kv", {"key": a.key, "value": str(int(a.value) + int(b.value))}),
+                1.0,
+            ),
+        )
+        left.on_runnable = lambda: sched.notify_runnable(merge)
+        right.on_runnable = lambda: sched.notify_runnable(merge)
+        sched.start()
+        for item in left_items:
+            left.push(item)
+        for item in right_items:
+            right.push(item)
+        left.close()
+        right.close()
+        engine.run()
+        result = []
+        while not out.empty():
+            item = out.pop()
+            if item is not EOS:
+                result.append((item.key, item.value))
+        assert out.exhausted()  # merge closed its output
+        return result
+
+    def test_disjoint_merge(self):
+        out = self._run_merge([_mk("a"), _mk("c")], [_mk("b"), _mk("d")])
+        assert [k for k, _ in out] == ["a", "b", "c", "d"]
+
+    def test_equal_keys_combined(self):
+        out = self._run_merge(
+            [_mk("a", "1"), _mk("b", "2")], [_mk("a", "3"), _mk("b", "4")]
+        )
+        assert out == [("a", "4"), ("b", "6")]
+
+    def test_one_side_empty(self):
+        out = self._run_merge([_mk("x", "5")], [])
+        assert out == [("x", "5")]
+
+    def test_both_empty(self):
+        assert self._run_merge([], []) == []
+
+    def test_duplicates_within_one_stream(self):
+        out = self._run_merge([_mk("a", "1"), _mk("a", "2")], [_mk("a", "4")])
+        assert out == [("a", "7")]
+
+
+class TestGraphPool:
+    def test_hits_then_misses(self):
+        pool = GraphPool(2)
+        assert pool.take() and pool.take()
+        assert not pool.take()
+        assert pool.hits == 2 and pool.misses == 1
+
+    def test_give_back_capped(self):
+        pool = GraphPool(1)
+        pool.give_back()
+        assert pool.available == 1
+
+    def test_zero_pool_always_misses(self):
+        pool = GraphPool(0)
+        assert not pool.take()
+        assert pool.misses == 1

@@ -1,0 +1,250 @@
+"""Simulation engine, network and TCP substrate tests."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.units import GBPS, MBPS
+from repro.net.simnet import HOP_LATENCY_US, Network, RateLimiter, WIRE_OVERHEAD
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_schedule_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, seen.append, "b")
+        engine.schedule(5, seen.append, "a")
+        engine.schedule(20, seen.append, "c")
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        seen = []
+        for label in "xyz":
+            engine.schedule(1.0, seen.append, label)
+        engine.run()
+        assert seen == ["x", "y", "z"]
+
+    def test_now_advances(self):
+        engine = Engine()
+        stamps = []
+        engine.schedule(3, lambda: stamps.append(engine.now))
+        engine.schedule(7, lambda: stamps.append(engine.now))
+        engine.run()
+        assert stamps == [3, 7]
+
+    def test_run_until(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5, seen.append, 1)
+        engine.schedule(50, seen.append, 2)
+        engine.run(until=10)
+        assert seen == [1]
+        assert engine.now == 10
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_process_timeout(self):
+        engine = Engine()
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield engine.timeout(10)
+            trace.append(engine.now)
+            yield engine.timeout(5)
+            trace.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [0, 10, 15]
+
+    def test_process_waits_on_event(self):
+        engine = Engine()
+        evt = engine.event()
+        got = []
+
+        def waiter():
+            payload = yield evt
+            got.append((engine.now, payload))
+
+        engine.process(waiter())
+        engine.schedule(25, evt.trigger, "ready")
+        engine.run()
+        assert got == [(25, "ready")]
+
+    def test_event_double_trigger_rejected(self):
+        engine = Engine()
+        evt = engine.event()
+        evt.trigger()
+        with pytest.raises(SimulationError):
+            evt.trigger()
+
+    def test_process_result_propagates(self):
+        engine = Engine()
+
+        def child():
+            yield engine.timeout(1)
+            return 42
+
+        results = []
+
+        def parent():
+            value = yield engine.process(child())
+            results.append(value)
+
+        engine.process(parent())
+        engine.run()
+        assert results == [42]
+
+    def test_determinism(self):
+        def run_once():
+            engine = Engine()
+            seen = []
+            for i in range(50):
+                engine.schedule((i * 7) % 13, seen.append, i)
+            engine.run()
+            return seen
+
+        assert run_once() == run_once()
+
+
+class TestRateLimiter:
+    def test_transmission_time(self):
+        rl = RateLimiter(1 * GBPS)
+        end = rl.transmit(0.0, 125_000)  # 1 Mbit payload
+        assert end == pytest.approx(1000.0 * WIRE_OVERHEAD, rel=0.01)
+
+    def test_serialisation_of_back_to_back_sends(self):
+        rl = RateLimiter(1 * GBPS)
+        first = rl.transmit(0.0, 125_000)
+        second = rl.transmit(0.0, 125_000)
+        assert second == pytest.approx(2 * first, rel=0.01)
+
+    def test_idle_gap_not_accumulated(self):
+        rl = RateLimiter(1 * GBPS)
+        rl.transmit(0.0, 1000)
+        end = rl.transmit(1_000_000.0, 1000)
+        assert end > 1_000_000.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(SimulationError):
+            RateLimiter(0)
+
+
+class TestNetwork:
+    def test_same_segment_one_hop(self):
+        engine = Engine()
+        net = Network(engine)
+        a = net.add_host("a", 10 * GBPS, "core")
+        b = net.add_host("b", 10 * GBPS, "core")
+        arrival = net.deliver(a, b, 0, lambda: None)
+        assert arrival == pytest.approx(HOP_LATENCY_US)
+
+    def test_cross_segment_two_hops(self):
+        engine = Engine()
+        net = Network(engine)
+        a = net.add_host("a", 10 * GBPS, "edge")
+        b = net.add_host("b", 10 * GBPS, "core")
+        arrival = net.deliver(a, b, 0, lambda: None)
+        assert arrival == pytest.approx(2 * HOP_LATENCY_US)
+
+    def test_slow_nic_caps_throughput(self):
+        engine = Engine()
+        net = Network(engine)
+        a = net.add_host("a", 10 * MBPS, "core")
+        b = net.add_host("b", 10 * GBPS, "core")
+        arrival = net.deliver(a, b, 12_500, lambda: None)  # 100 kbit
+        # ~10ms serialisation at the sender's 10 Mbps NIC
+        assert arrival > 10_000
+
+    def test_duplicate_host_rejected(self):
+        engine = Engine()
+        net = Network(engine)
+        net.add_host("a")
+        with pytest.raises(SimulationError):
+            net.add_host("a")
+
+
+class TestTcp:
+    def _pair(self):
+        engine = Engine()
+        net = TcpNetwork(engine)
+        a = net.add_host("a", 1 * GBPS, "edge")
+        b = net.add_host("b", 10 * GBPS, "core")
+        return engine, net, a, b
+
+    def test_connect_and_exchange(self):
+        engine, net, a, b = self._pair()
+        server_got, client_got = [], []
+
+        def accept(sock):
+            sock.on_receive(server_got.append)
+            sock.on_receive  # noqa: B018 - attribute exists
+            sock.send(b"pong")
+
+        net.listen(b, 80, accept)
+        net.connect(a, b, 80, lambda s: (s.on_receive(client_got.append), s.send(b"ping")))
+        engine.run()
+        assert server_got == [b"ping"]
+        assert client_got == [b"pong"]
+
+    def test_connection_refused(self):
+        engine, net, a, b = self._pair()
+        with pytest.raises(SimulationError):
+            net.connect(a, b, 9999, lambda s: None)
+
+    def test_eof_delivered(self):
+        engine, net, a, b = self._pair()
+        closed = []
+
+        def accept(sock):
+            sock.on_receive(lambda d: None)
+            sock.on_close(lambda: closed.append(engine.now))
+
+        net.listen(b, 80, accept)
+        net.connect(a, b, 80, lambda s: s.close())
+        engine.run()
+        assert len(closed) == 1
+
+    def test_data_buffered_until_callback_registered(self):
+        engine, net, a, b = self._pair()
+        got = []
+        sockets = []
+        net.listen(b, 80, sockets.append)
+        net.connect(a, b, 80, lambda s: s.send(b"early"))
+        engine.run()
+        sockets[0].on_receive(got.append)
+        assert got == [b"early"]
+
+    def test_send_on_closed_socket_rejected(self):
+        engine, net, a, b = self._pair()
+        net.listen(b, 80, lambda s: None)
+        client = []
+        net.connect(a, b, 80, client.append)
+        engine.run()
+        client[0].close()
+        with pytest.raises(SimulationError):
+            client[0].send(b"nope")
+
+    def test_byte_counters(self):
+        engine, net, a, b = self._pair()
+        net.listen(b, 80, lambda s: s.on_receive(lambda d: None))
+        client = []
+        net.connect(a, b, 80, client.append)
+        engine.run()
+        client[0].send(b"12345")
+        engine.run()
+        assert client[0].bytes_sent == 5
+        assert client[0].peer.bytes_received == 5
+
+    def test_duplicate_listen_rejected(self):
+        engine, net, a, b = self._pair()
+        net.listen(b, 80, lambda s: None)
+        with pytest.raises(SimulationError):
+            net.listen(b, 80, lambda s: None)

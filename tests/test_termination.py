@@ -1,0 +1,116 @@
+"""Termination-analysis tests: recursion rejection, cost bounds."""
+
+import pytest
+
+from repro.core.errors import TerminationError
+from repro.lang.parser import parse
+from repro.lang.termination import check_termination
+from tests.test_parser import HADOOP, MEMCACHED_FULL, MEMCACHED_SHORT
+
+
+def report(src):
+    return check_termination(parse(src))
+
+
+class TestAcceptance:
+    def test_listings_terminate(self):
+        for src in (MEMCACHED_SHORT, MEMCACHED_FULL, HADOOP):
+            rep = report(src)
+            assert rep.topological_order
+
+    def test_call_graph_edges(self):
+        rep = report(MEMCACHED_FULL)
+        assert rep.call_graph["proc:memcached"] == (
+            "test_cache",
+            "update_cache",
+        )
+
+    def test_topological_order_callee_first(self):
+        src = (
+            "fun inner: (x: integer) -> (integer)\n    x + 1\n"
+            "fun outer: (x: integer) -> (integer)\n    inner(x) * 2\n"
+        )
+        rep = report(src)
+        order = list(rep.topological_order)
+        assert order.index("inner") < order.index("outer")
+
+    def test_cost_bound_grows_with_body(self):
+        small = report("fun f: (x: integer) -> (integer)\n    x\n")
+        big = report(
+            "fun f: (x: integer) -> (integer)\n"
+            "    let a = x * 2\n"
+            "    let b = a + x\n"
+            "    let c = b * b\n"
+            "    c + a + b\n"
+        )
+        assert big.cost_bounds["f"] > small.cost_bounds["f"]
+
+    def test_caller_cost_includes_callee(self):
+        rep = report(
+            "fun inner: (x: integer) -> (integer)\n"
+            "    x * x + x * x + x * x\n"
+            "fun outer: (x: integer) -> (integer)\n    inner(x)\n"
+        )
+        assert rep.cost_bounds["outer"] >= rep.cost_bounds["inner"]
+
+    def test_higher_order_cost_scales(self):
+        rep = report(
+            "fun add: (a: integer, b: integer) -> (integer)\n    a + b\n"
+            "fun total: (l: list<integer>) -> (integer)\n"
+            "    fold(add, 0, l)\n"
+        )
+        assert rep.cost_bounds["total"] > 10 * rep.cost_bounds["add"]
+
+
+class TestRejection:
+    def test_direct_recursion(self):
+        with pytest.raises(TerminationError) as err:
+            report(
+                "fun loop: (x: integer) -> (integer)\n    loop(x)\n"
+            )
+        assert "loop" in str(err.value)
+
+    def test_mutual_recursion(self):
+        with pytest.raises(TerminationError) as err:
+            report(
+                "fun ping: (x: integer) -> (integer)\n    pong(x)\n"
+                "fun pong: (x: integer) -> (integer)\n    ping(x)\n"
+            )
+        assert "->" in str(err.value)
+
+    def test_three_cycle(self):
+        with pytest.raises(TerminationError):
+            report(
+                "fun a1: (x: integer) -> (integer)\n    b1(x)\n"
+                "fun b1: (x: integer) -> (integer)\n    c1(x)\n"
+                "fun c1: (x: integer) -> (integer)\n    a1(x)\n"
+            )
+
+    def test_recursion_via_fold(self):
+        with pytest.raises(TerminationError):
+            report(
+                "fun step: (acc: integer, l: list<integer>) -> (integer)\n"
+                "    fold(step, acc, l)\n"
+            )
+
+    def test_fold_over_unknown_function(self):
+        with pytest.raises(TerminationError) as err:
+            report(
+                "fun f: (l: list<integer>) -> (integer)\n"
+                "    fold(ghost, 0, l)\n"
+            )
+        assert "ghost" in str(err.value)
+
+    def test_fold_over_builtin_rejected(self):
+        with pytest.raises(TerminationError):
+            report(
+                "fun f: (l: list<integer>) -> (integer)\n"
+                "    fold(hash, 0, l)\n"
+            )
+
+    def test_map_requires_function_name_argument(self):
+        with pytest.raises(TerminationError):
+            report(
+                "fun f: (l: list<integer>) -> (integer)\n"
+                "    len(map(1, l))\n"
+            )
