@@ -15,8 +15,9 @@ import pytest
 
 from benchmarks.conftest import print_series, run_once
 from repro.bench.scheduling import run_scheduling_experiment
+from repro.runtime.policy import PAPER_POLICIES, registered_policies
 
-POLICIES = ("cooperative", "non_cooperative", "round_robin")
+POLICIES = PAPER_POLICIES
 
 
 def _sweep():
@@ -72,3 +73,44 @@ def test_fig7_timeslice_matters(benchmark):
 
     small, huge = run_once(benchmark, sweep)
     assert small.light_mean_ms < huge.light_mean_ms
+
+
+@pytest.mark.parametrize("policy", registered_policies())
+def test_fig7_any_registered_policy(benchmark, policy):
+    """Every policy in the registry runs the Figure-7 workload
+    end-to-end: all 200 tasks complete and the class means are sane."""
+    result = run_once(
+        benchmark,
+        run_scheduling_experiment,
+        policy,
+        n_tasks=200,
+        items_per_task=200,
+        cores=16,
+    )
+    assert result.policy == policy
+    assert 0 < result.light_mean_ms <= result.makespan_ms
+    assert 0 < result.heavy_mean_ms <= result.makespan_ms
+    assert result.makespan_ms == max(result.light_max_ms, result.heavy_max_ms)
+
+
+def test_fig7_new_policies_extend_the_figure(benchmark):
+    """The policies the paper could not test sit where they should on
+    the Figure-7 axes: priority frees light tasks even faster than
+    cooperative, and batch amortises scheduling overhead over round
+    robin without changing its fairness shape."""
+
+    def sweep():
+        return {
+            policy: run_scheduling_experiment(
+                policy, n_tasks=200, items_per_task=200, cores=16
+            )
+            for policy in ("cooperative", "round_robin", "priority", "batch")
+        }
+
+    results = run_once(benchmark, sweep)
+    assert (
+        results["priority"].light_mean_ms
+        < results["cooperative"].light_mean_ms
+    )
+    assert results["batch"].makespan_ms < results["round_robin"].makespan_ms
+    assert results["batch"].light_mean_ms > 0.8 * results["batch"].heavy_mean_ms

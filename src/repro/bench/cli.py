@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench fig5        # Memcached proxy vs cores
     python -m repro.bench fig6        # Hadoop aggregator vs cores
     python -m repro.bench fig7        # scheduling policies
+    python -m repro.bench fig7 --policy all    # sweep every registered policy
     python -m repro.bench all --quick # everything, reduced sizes
 """
 
@@ -16,16 +17,27 @@ import argparse
 import sys
 from typing import List
 
-from repro.bench.report import format_series_chart, results_to_series, summarize
-from repro.bench.scheduling import run_scheduling_experiment
+from repro.core.errors import RuntimeFlickError
+from repro.bench.report import (
+    format_policy_table,
+    format_series_chart,
+    results_to_series,
+    summarize,
+)
+from repro.bench.scheduling import (
+    resolve_policy_selection,
+    run_policy_sweep,
+)
 from repro.bench.testbeds import (
     run_hadoop_experiment,
     run_http_experiment,
     run_memcached_experiment,
 )
+from repro.runtime.policy import registered_policies
 
 
-def _e1(quick: bool) -> None:
+def _e1(args) -> None:
+    quick = args.quick
     reqs = 20 if quick else 40
     print("== E1: §6.3 static web server (16 cores) ==")
     results = {}
@@ -44,7 +56,8 @@ def _e1(quick: bool) -> None:
         print(summarize(results[label]))
 
 
-def _fig4(quick: bool) -> None:
+def _fig4(args) -> None:
+    quick = args.quick
     counts = (100, 400) if quick else (100, 200, 400, 800, 1600)
     print("== Figure 4: HTTP load balancer ==")
     for persistent in (True, False):
@@ -67,7 +80,8 @@ def _fig4(quick: bool) -> None:
         ))
 
 
-def _fig5(quick: bool) -> None:
+def _fig5(args) -> None:
+    quick = args.quick
     cores = (2, 8) if quick else (1, 2, 4, 8, 16)
     print(f"== Figure 5: Memcached proxy (cores: {cores}) ==")
     results = {
@@ -85,7 +99,8 @@ def _fig5(quick: bool) -> None:
     print(format_series_chart(results_to_series(results), cores, unit="k"))
 
 
-def _fig6(quick: bool) -> None:
+def _fig6(args) -> None:
+    quick = args.quick
     cores = (2, 8) if quick else (1, 2, 4, 8, 16)
     lengths = (8,) if quick else (8, 12, 16)
     print(f"== Figure 6: Hadoop aggregator (cores: {cores}) ==")
@@ -103,28 +118,17 @@ def _fig6(quick: bool) -> None:
     print(format_series_chart(results_to_series(results), cores, unit="Mb/s"))
 
 
-def _fig7(quick: bool) -> None:
+def _fig7(args) -> None:
+    quick = args.quick
     n = 80 if quick else 200
     items = 100 if quick else 200
-    print(f"== Figure 7: scheduling policies ({n} tasks) ==")
-    from repro.bench.report import format_table
-
-    rows = []
-    for policy in ("cooperative", "non_cooperative", "round_robin"):
-        r = run_scheduling_experiment(policy, n_tasks=n, items_per_task=items)
-        rows.append(
-            (
-                policy,
-                f"{r.light_mean_ms:.1f}",
-                f"{r.heavy_mean_ms:.1f}",
-                f"{r.makespan_ms:.1f}",
-            )
-        )
+    names = resolve_policy_selection(args.policy)
     print(
-        format_table(
-            ("policy", "light_mean_ms", "heavy_mean_ms", "makespan_ms"), rows
-        )
+        f"== Figure 7: scheduling policies ({n} tasks, "
+        f"policies: {', '.join(names)}) =="
     )
+    results = run_policy_sweep(names, n_tasks=n, items_per_task=items)
+    print(format_policy_table(results))
 
 
 _TARGETS = {
@@ -151,10 +155,30 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="reduced workload sizes for a fast smoke run",
     )
+    parser.add_argument(
+        "--policy",
+        default="paper",
+        metavar="NAME[,NAME...]",
+        help="fig7 only: which scheduling policies to sweep. 'paper' "
+        "(default) runs the three Figure-7 policies, 'all' sweeps every "
+        "registered policy, or give a comma-separated list of names. "
+        f"Registered: {', '.join(registered_policies())}.",
+    )
     args = parser.parse_args(argv)
+    try:
+        # Reject --policy typos up front, before any (expensive) target
+        # runs — not only when the loop eventually reaches fig7.
+        resolve_policy_selection(args.policy)
+    except RuntimeFlickError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:
-        _TARGETS[name](args.quick)
+        try:
+            _TARGETS[name](args)
+        except RuntimeFlickError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print()
     return 0
 

@@ -58,6 +58,37 @@ def format_series_chart(
     return "\n".join(lines).rstrip()
 
 
+def format_policy_table(results) -> str:
+    """Per-policy comparison table for the Figure-7 scheduling sweep.
+
+    ``results`` maps policy name to
+    :class:`~repro.bench.scheduling.SchedulingResult` (duck-typed, so
+    the report layer stays import-free of the bench harness).
+    """
+    rows = [
+        (
+            name,
+            f"{r.light_mean_ms:.1f}",
+            f"{r.light_max_ms:.1f}",
+            f"{r.heavy_mean_ms:.1f}",
+            f"{r.heavy_max_ms:.1f}",
+            f"{r.makespan_ms:.1f}",
+        )
+        for name, r in results.items()
+    ]
+    return format_table(
+        (
+            "policy",
+            "light_mean_ms",
+            "light_max_ms",
+            "heavy_mean_ms",
+            "heavy_max_ms",
+            "makespan_ms",
+        ),
+        rows,
+    )
+
+
 def results_to_series(
     results: Dict[str, List[RunResult]], field: str = "throughput"
 ) -> Dict[str, List[float]]:

@@ -2,16 +2,21 @@
 
 200 synthetic tasks, each consuming a finite number of data items and
 "computing a simple addition for each input byte": 100 **light** tasks
-over 1 KB items and 100 **heavy** tasks over 16 KB items, executed under
-the three scheduling policies (cooperative / non-cooperative /
-round-robin).  The figure reports the completion time of each class.
+over 1 KB items and 100 **heavy** tasks over 16 KB items.  The paper
+runs them under its three scheduling policies (cooperative /
+non-cooperative / round-robin) and reports the completion time of each
+class; here ``policy`` accepts *any* registered policy name — or a
+:class:`~repro.runtime.policy.SchedulingPolicy` instance — so the same
+workload sweeps scheduling scenarios the paper could not test.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.policy import PAPER_POLICIES, registered_policies
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.sim.engine import Engine
 
@@ -77,19 +82,26 @@ class SchedulingResult:
 
 
 def run_scheduling_experiment(
-    policy: str,
+    policy,
     n_tasks: int = 200,
     items_per_task: int = 200,
     cores: int = 16,
     timeslice_us: float = 50.0,
     interleaved: bool = True,
 ) -> SchedulingResult:
-    """Run the Figure 7 workload under ``policy``.
+    """Run the Figure 7 workload under ``policy`` (name or instance).
 
     Tasks are admitted interleaved (light, heavy, light, ...) so that
     under the non-cooperative policy completion is determined purely by
     scheduling order, as the paper describes.
     """
+    # Scoped task ids: the experiment's placement must not depend on how
+    # many tasks the process created before, and the process counter
+    # must never move backwards for tasks created after (adaptive
+    # policies key state by id), so record where it was and restore
+    # past both ranges afterwards.
+    resume_from = next(TaskBase._ids)
+    TaskBase.reset_ids()
     engine = Engine()
     scheduler = Scheduler(engine, cores, timeslice_us, policy)
     light: List[SyntheticTask] = []
@@ -129,11 +141,63 @@ def run_scheduling_experiment(
 
     light_times = _collect(light)
     heavy_times = _collect(heavy)
+    TaskBase.reset_ids(max(resume_from, n_tasks + 1))
     return SchedulingResult(
-        policy=policy,
+        policy=scheduler.policy_name,
         light_mean_ms=sum(light_times) / len(light_times) / 1000.0,
         heavy_mean_ms=sum(heavy_times) / len(heavy_times) / 1000.0,
         light_max_ms=max(light_times) / 1000.0,
         heavy_max_ms=max(heavy_times) / 1000.0,
         makespan_ms=max(max(light_times), max(heavy_times)) / 1000.0,
     )
+
+
+def resolve_policy_selection(selection: str) -> Sequence[str]:
+    """Map a CLI ``--policy`` value to a list of policy names.
+
+    ``"paper"`` → the three Figure-7 policies, ``"all"`` → every
+    registered policy, otherwise a comma-separated list of names.
+    """
+    if selection == "paper":
+        return PAPER_POLICIES
+    if selection == "all":
+        return registered_policies()
+    names = tuple(
+        name.strip() for name in selection.split(",") if name.strip()
+    )
+    if not names:
+        raise RuntimeFlickError(
+            f"--policy {selection!r} selects no policies; registered: "
+            f"{', '.join(registered_policies())}"
+        )
+    unknown = [name for name in names if name not in registered_policies()]
+    if unknown:
+        # Reject up front: a typo must not surface only after the
+        # preceding policies' experiments have already run.
+        raise RuntimeFlickError(
+            f"unknown scheduling polic{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(map(repr, unknown))}; registered: "
+            f"{', '.join(registered_policies())}"
+        )
+    return names
+
+
+def run_policy_sweep(
+    policies: Optional[Sequence] = None, **kwargs
+) -> Dict[str, SchedulingResult]:
+    """Run the Figure 7 workload once per policy (names or instances).
+
+    Keys are policy names; two entries with the same name (e.g. two
+    ``BatchPolicy`` instances with different ``k``) are disambiguated
+    with ``#2``, ``#3``, ... so no sweep result is silently dropped.
+    """
+    results: Dict[str, SchedulingResult] = {}
+    for policy in policies if policies is not None else PAPER_POLICIES:
+        result = run_scheduling_experiment(policy, **kwargs)
+        key = result.policy
+        serial = 2
+        while key in results:
+            key = f"{result.policy}#{serial}"
+            serial += 1
+        results[key] = result
+    return results

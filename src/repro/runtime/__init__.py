@@ -6,6 +6,14 @@ from repro.runtime.costs import OP_US, RuntimeConfig, ops_to_us
 from repro.runtime.dispatcher import DispatcherTask, GraphDispatcher, GraphPool
 from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget, TaskGraph
 from repro.runtime.platform import FlickPlatform, ProgramInstance
+from repro.runtime.policy import (
+    PAPER_POLICIES,
+    SchedulingPolicy,
+    make_policy,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.runtime.task import ComputeTask, InputTask, MergeTask, OutputTask
 
@@ -25,6 +33,12 @@ __all__ = [
     "TaskGraph",
     "FlickPlatform",
     "ProgramInstance",
+    "PAPER_POLICIES",
+    "SchedulingPolicy",
+    "make_policy",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
     "Scheduler",
     "TaskBase",
     "ComputeTask",

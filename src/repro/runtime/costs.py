@@ -44,13 +44,17 @@ class RuntimeConfig:
     """Tunables of one FLICK platform instance.
 
     ``timeslice_us`` is the cooperative scheduling quantum (section 5:
-    "typically 10-100 µs").  ``policy`` selects the Figure 7 scheduling
-    policies: 'cooperative', 'non_cooperative' or 'round_robin'.
+    "typically 10-100 µs").  ``policy`` selects a scheduling policy by
+    registry name (any name in
+    :func:`repro.runtime.policy.registered_policies` — the paper's
+    'cooperative', 'non_cooperative' and 'round_robin' plus the
+    extensions) or is a ready :class:`~repro.runtime.policy.\
+SchedulingPolicy` instance for custom parameters.
     """
 
     cores: int = 16
     timeslice_us: float = 50.0
-    policy: str = "cooperative"
+    policy: object = "cooperative"
     stack: str = "kernel"
     graph_pool_size: int = 512
     channel_capacity: int = 4096
@@ -62,5 +66,18 @@ class RuntimeConfig:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.timeslice_us <= 0:
             raise ValueError("timeslice must be positive")
-        if self.policy not in ("cooperative", "non_cooperative", "round_robin"):
-            raise ValueError(f"unknown scheduling policy {self.policy!r}")
+        # Imported lazily: this module is a leaf dependency of the
+        # runtime package and must not import it at load time.
+        from repro.runtime.policy import SchedulingPolicy, registered_policies
+
+        if isinstance(self.policy, str):
+            if self.policy not in registered_policies():
+                raise ValueError(
+                    f"unknown scheduling policy {self.policy!r}; "
+                    f"registered: {', '.join(registered_policies())}"
+                )
+        elif not isinstance(self.policy, SchedulingPolicy):
+            raise ValueError(
+                "policy must be a registered name or a SchedulingPolicy, "
+                f"got {type(self.policy).__name__}"
+            )

@@ -103,17 +103,25 @@ class GraphDispatcher:
 
 
 class DispatcherTask(TaskBase):
-    """Scheduler task that performs accept + graph assignment work."""
+    """Scheduler task that performs accept + graph assignment work.
+
+    ``home_hint`` pins the task to one worker through the scheduling
+    policy's ``place`` hook — the platform creates one dispatch task per
+    core and pins each to its core (SO_REUSEPORT-style accept
+    spreading), rather than leaving placement to the id hash.
+    """
 
     def __init__(
         self,
         name: str,
         graph_dispatcher: GraphDispatcher,
         accept_cost: Callable[[], float],
+        home_hint: Optional[int] = None,
     ):
         super().__init__(name)
         self._dispatcher = graph_dispatcher
         self._accept_cost = accept_cost
+        self.home_hint = home_hint
         self._pending = deque()
 
     def enqueue(self, socket) -> None:

@@ -74,6 +74,7 @@ class ProgramInstance:
                 self.graph_dispatcher,
                 accept_cost=lambda: platform.stack.accept_us
                 + platform.stack.op_overhead_us(platform.config.cores),
+                home_hint=core,
             )
             self._dispatch_tasks.append(task)
         self._rr = 0
@@ -108,7 +109,13 @@ class ProgramInstance:
 
 
 class FlickPlatform:
-    """A FLICK middlebox on one simulated host."""
+    """A FLICK middlebox on one simulated host.
+
+    ``policy`` (a registered policy name or a
+    :class:`~repro.runtime.policy.SchedulingPolicy` instance) overrides
+    ``config.policy`` when given, so callers can inject a custom-built
+    policy without constructing a whole :class:`RuntimeConfig`.
+    """
 
     def __init__(
         self,
@@ -117,6 +124,7 @@ class FlickPlatform:
         host: Host,
         config: Optional[RuntimeConfig] = None,
         registry: Optional[CodecRegistry] = None,
+        policy=None,
     ):
         self.engine = engine
         self.tcpnet = tcpnet
@@ -128,7 +136,7 @@ class FlickPlatform:
             engine,
             self.config.cores,
             self.config.timeslice_us,
-            self.config.policy,
+            self.config.policy if policy is None else policy,
         )
         self.buffers = BufferPool(
             self.config.buffer_pool_bytes, self.config.buffer_size

@@ -1,0 +1,285 @@
+"""Scheduling policies: the *policy* half of the scheduler's
+policy/mechanism split.
+
+:mod:`repro.runtime.scheduler` is pure mechanism — worker loops, queues,
+wake-ups, cost accounting.  Every scheduling *decision* is delegated to a
+:class:`SchedulingPolicy` object through five hooks:
+
+* ``budget(task)`` — the timeslice handed to ``task.step``: a float
+  budget in virtual µs, ``0.0`` for exactly one item, ``None`` to run
+  the task to completion;
+* ``place(task, workers)`` — which worker queue is the task's home
+  (section 5: "a hash over this identifier determines which worker's
+  task queue the task should be assigned to");
+* ``select_victim(worker, workers)`` — which foreign queue an idle
+  worker steals from (``None`` = go to sleep instead);
+* ``next_local(worker)`` — which task an awake worker pops from its own
+  queue (FIFO unless the policy reorders);
+* ``steps_per_decision(task)`` / ``on_task_done(task, worker, us)`` —
+  how many ``step`` calls one scheduling decision amortises, and a
+  feedback hook fired after each decision (used by adaptive policies).
+
+Policies are registered in a string-keyed registry so every upper layer
+— :class:`~repro.runtime.platform.FlickPlatform`, the bench CLI's
+``--policy`` flag, the Figure-7 microbenchmark — can select any policy
+by name, or pass a pre-built instance for custom parameters.
+
+The three paper policies (``cooperative``, ``non_cooperative``,
+``round_robin``) reproduce Figure 7 byte-for-byte; ``locality``,
+``batch`` and ``priority`` are scenarios the paper could not test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.core.errors import RuntimeFlickError
+from repro.core.ids import stable_hash
+
+#: The three policies evaluated in the paper (section 6.4, Figure 7).
+PAPER_POLICIES = ("cooperative", "non_cooperative", "round_robin")
+
+
+class SchedulingPolicy:
+    """Base class: hash placement, longest-queue stealing, FIFO pop.
+
+    The defaults reproduce the paper's mechanism exactly; subclasses
+    override individual hooks.  ``workers`` arguments are sequences of
+    scheduler ``_Worker`` objects (``index``, ``queue`` attributes).
+    """
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+
+    #: Set by the scheduler that adopts this instance; two schedulers on
+    #: the same engine sharing one instance is rejected (shared mutable
+    #: policy state would silently cross-contaminate their decisions).
+    _bound_engine = None
+
+    def __init__(self, timeslice_us: float = 50.0):
+        self.timeslice_us = timeslice_us
+
+    # -- decision hooks ------------------------------------------------------
+
+    def budget(self, task) -> Optional[float]:
+        """Timeslice for one ``task.step`` call (µs, ``0.0``, or ``None``)."""
+        return self.timeslice_us
+
+    def steps_per_decision(self, task) -> int:
+        """How many ``step`` calls one scheduling decision amortises."""
+        return 1
+
+    def place(self, task, workers: Sequence) -> object:
+        """Choose the task's home worker (honours ``task.home_hint``)."""
+        hint = getattr(task, "home_hint", None)
+        if hint is not None:
+            return workers[hint % len(workers)]
+        return workers[stable_hash(task.task_id) % len(workers)]
+
+    def select_victim(self, worker, workers: Sequence) -> Optional[object]:
+        """Pick the foreign queue to steal from (longest, first on ties)."""
+        victim = None
+        victim_len = 0
+        for other in workers:
+            if other is worker:
+                continue
+            qlen = len(other.queue)
+            if qlen > victim_len:
+                victim = other
+                victim_len = qlen
+        return victim
+
+    def next_local(self, worker) -> object:
+        """Pop the next task from the worker's own (non-empty) queue."""
+        return worker.queue.popleft()
+
+    def on_task_done(self, task, worker, elapsed_us: float) -> None:
+        """Feedback after one decision ran ``task`` for ``elapsed_us``."""
+
+    def reset(self) -> None:
+        """Drop any learned state; called when a scheduler adopts the
+        policy, so a reused instance starts each run fresh.  (A policy
+        instance therefore belongs to one live scheduler at a time.)"""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+# -- registry ----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[SchedulingPolicy]] = {}
+
+
+def register_policy(cls: Type[SchedulingPolicy]) -> Type[SchedulingPolicy]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    if not cls.name or cls.name == "abstract":
+        raise RuntimeFlickError(f"policy class {cls.__name__} needs a name")
+    if cls.name in _REGISTRY:
+        raise RuntimeFlickError(f"policy {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_policies() -> tuple:
+    """All registered policy names, paper policies first, rest sorted."""
+    extras = sorted(name for name in _REGISTRY if name not in PAPER_POLICIES)
+    return PAPER_POLICIES + tuple(extras)
+
+
+def make_policy(
+    name: str, timeslice_us: float = 50.0, **kwargs
+) -> SchedulingPolicy:
+    """Instantiate the registered policy ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RuntimeFlickError(
+            f"unknown scheduling policy {name!r}; registered: "
+            f"{', '.join(registered_policies())}"
+        ) from None
+    return cls(timeslice_us=timeslice_us, **kwargs)
+
+
+def resolve_policy(spec, timeslice_us: float = 50.0) -> SchedulingPolicy:
+    """Accept a policy name or a ready instance; return an instance."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    if isinstance(spec, str):
+        return make_policy(spec, timeslice_us)
+    raise RuntimeFlickError(
+        f"policy must be a name or SchedulingPolicy, got {type(spec).__name__}"
+    )
+
+
+# -- the three paper policies (Figure 7) -------------------------------------
+
+
+@register_policy
+class CooperativePolicy(SchedulingPolicy):
+    """FLICK's policy: run until the timeslice budget is exhausted."""
+
+    name = "cooperative"
+
+
+@register_policy
+class NonCooperativePolicy(SchedulingPolicy):
+    """A scheduled task runs to completion (budget ``None``)."""
+
+    name = "non_cooperative"
+
+    def budget(self, task) -> Optional[float]:
+        return None
+
+
+@register_policy
+class RoundRobinPolicy(SchedulingPolicy):
+    """Exactly one data item per scheduling decision (budget ``0.0``)."""
+
+    name = "round_robin"
+
+    def budget(self, task) -> Optional[float]:
+        return 0.0
+
+
+# -- policies beyond the paper -----------------------------------------------
+
+
+@register_policy
+class LocalityPolicy(SchedulingPolicy):
+    """Cooperative budget, but steal from the *nearest* queue.
+
+    Victims are scanned by ring distance from the thief — a proxy for
+    cache/NUMA distance between cores — instead of queue length, so
+    stolen work stays close to its home core.
+    """
+
+    name = "locality"
+
+    def select_victim(self, worker, workers: Sequence) -> Optional[object]:
+        n = len(workers)
+        base = worker.index
+        for distance in range(1, n):
+            candidate = workers[(base + distance) % n]
+            if candidate.queue:
+                return candidate
+        return None
+
+
+@register_policy
+class BatchPolicy(SchedulingPolicy):
+    """Amortise ``SCHEDULE_US`` by running ``k`` items per decision.
+
+    Each ``step`` call processes one item (budget ``0.0``, round-robin
+    style) but one scheduling decision performs up to ``k`` of them, so
+    the per-decision overhead is paid once per batch.
+    """
+
+    name = "batch"
+
+    def __init__(self, timeslice_us: float = 50.0, k: int = 8):
+        super().__init__(timeslice_us)
+        if k < 1:
+            raise RuntimeFlickError(f"batch size must be >= 1, got {k}")
+        self.k = k
+
+    def budget(self, task) -> Optional[float]:
+        return 0.0
+
+    def steps_per_decision(self, task) -> int:
+        return self.k
+
+
+@register_policy
+class PriorityPolicy(SchedulingPolicy):
+    """Weighted local picking: observed-light tasks run before heavy ones.
+
+    The policy keeps an exponentially-weighted mean of each task's cost
+    per decision (fed by ``on_task_done``) and pops the cheapest known
+    task from the local queue; unmeasured tasks count as cost ``0`` so
+    newcomers are probed immediately.  Directly targets the Figure-7
+    fairness question: light tasks are never starved behind heavy ones
+    that share their queue.
+    """
+
+    name = "priority"
+
+    def __init__(self, timeslice_us: float = 50.0, smoothing: float = 0.5):
+        super().__init__(timeslice_us)
+        self.smoothing = smoothing
+        self._mean_cost: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._mean_cost.clear()
+
+    def on_task_done(self, task, worker, elapsed_us: float) -> None:
+        if not task.has_work():
+            # Bound memory on long-lived platforms: drop the estimate
+            # once a task has nothing left queued (a task that comes
+            # back is simply probed as light again).
+            self._mean_cost.pop(task.task_id, None)
+            return
+        prev = self._mean_cost.get(task.task_id)
+        if prev is None:
+            self._mean_cost[task.task_id] = elapsed_us
+        else:
+            a = self.smoothing
+            self._mean_cost[task.task_id] = a * elapsed_us + (1.0 - a) * prev
+
+    def next_local(self, worker) -> object:
+        queue = worker.queue
+        if len(queue) == 1:
+            return queue.popleft()
+        costs = self._mean_cost
+        best_index = 0
+        best_cost = None
+        for index, task in enumerate(queue):
+            cost = costs.get(task.task_id, 0.0)
+            if best_cost is None or cost < best_cost:
+                best_index = index
+                best_cost = cost
+        if best_index == 0:
+            return queue.popleft()
+        queue.rotate(-best_index)
+        task = queue.popleft()
+        queue.rotate(best_index)
+        return task

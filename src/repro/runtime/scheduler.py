@@ -1,34 +1,42 @@
-"""Cooperative task scheduler over simulated worker cores (section 5).
+"""Scheduling *mechanism* over simulated worker cores (section 5).
 
-Workers are simulated processes pinned to the middlebox's cores.  Each
-worker owns a FIFO task queue; a task's home worker is chosen by hashing
-its id, so a task is always enqueued on the same queue (cache affinity,
-as in the paper).  Idle workers scavenge work from the longest foreign
-queue, then sleep until new work arrives.
+This module is the mechanism half of a policy/mechanism split: it owns
+the workers, their FIFO task queues, sleep/wake bookkeeping and CPU cost
+accounting, and delegates every scheduling *decision* — budget, home
+placement, victim selection, local pick order, batching — to a
+:class:`~repro.runtime.policy.SchedulingPolicy` object.  Policies are
+selected by registry name (or passed as instances); the three paper
+policies reproduce Figure 7 exactly, and new policies plug in without
+touching this file.
 
-A scheduled task runs until its input is drained or it exceeds the
-timeslice threshold (10-100 µs); the generated code guarantees re-entry
-into the scheduler, which here is the ``step(budget)`` contract every
-task implements.  Three policies reproduce Figure 7:
+Mechanism invariants, independent of policy:
 
-* ``cooperative`` — fixed timeslice budget (FLICK's policy);
-* ``non_cooperative`` — a scheduled task runs to completion;
-* ``round_robin`` — one data item per scheduling decision.
-
-Timing fidelity: a task's outputs are *deferred* — ``step`` returns both
-the virtual time consumed and a list of emission thunks, which the worker
-executes only after the virtual time has elapsed.  Downstream tasks can
-therefore never observe data before the producing timeslice finished.
+* Workers are simulated processes pinned to the middlebox's cores; each
+  owns one task queue.  A task is always enqueued on its home queue
+  (cache affinity), which the policy chooses — by default a hash of the
+  task id, as in the paper.
+* An idle worker asks the policy for a steal victim, then sleeps until
+  new work arrives; every steal is charged ``STEAL_US`` and every
+  scheduling decision ``SCHEDULE_US``.
+* A scheduled task runs until its ``step(budget)`` contract returns:
+  ``budget`` is a float timeslice in virtual µs, ``0.0`` for one item,
+  or ``None`` for run-to-completion — whatever the policy dictates.
+* Timing fidelity: a task's outputs are *deferred* — ``step`` returns
+  both the virtual time consumed and a list of emission thunks, which
+  the worker executes only after the virtual time has elapsed, so
+  downstream tasks can never observe data before the producing
+  timeslice finished.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Deque, Optional
 
 from repro.core.errors import RuntimeFlickError
-from repro.core.ids import stable_hash
 from repro.runtime.costs import SCHEDULE_US, STEAL_US
+from repro.runtime.policy import resolve_policy
 from repro.sim.engine import Engine, Event
 
 # Task scheduling states.
@@ -50,23 +58,51 @@ class _Worker:
 
 
 class Scheduler:
-    """Cooperative scheduler running task objects on N simulated cores."""
+    """Scheduling mechanism running task objects on N simulated cores.
+
+    ``policy`` may be a registered policy name (see
+    :func:`repro.runtime.policy.registered_policies`) or a
+    :class:`~repro.runtime.policy.SchedulingPolicy` instance.  A name is
+    instantiated with ``timeslice_us``; an instance keeps its own
+    timeslice (set it on the instance), and ``self.timeslice_us`` always
+    reports the effective value.
+    """
 
     def __init__(
         self,
         engine: Engine,
         cores: int,
         timeslice_us: float = 50.0,
-        policy: str = "cooperative",
+        policy="cooperative",
     ):
         if cores < 1:
             raise RuntimeFlickError("scheduler needs at least one core")
-        if policy not in ("cooperative", "non_cooperative", "round_robin"):
-            raise RuntimeFlickError(f"unknown scheduling policy {policy!r}")
         self.engine = engine
         self.cores = cores
-        self.timeslice_us = timeslice_us
-        self.policy = policy
+        self.policy = resolve_policy(policy, timeslice_us)
+        # The policy's timeslice is the effective one: a passed-in
+        # instance keeps the budget it was built with, and this
+        # attribute must not misreport it.
+        self.timeslice_us = self.policy.timeslice_us
+        bound = self.policy._bound_engine
+        if bound is engine or (bound is not None and bound.pending() > 0):
+            # Two live schedulers must not share one policy's mutable
+            # state — neither in the same simulation nor across engines
+            # that still have events in flight.  (Sequential reuse —
+            # the previous engine fully ran — is fine and resets below.)
+            raise RuntimeFlickError(
+                f"policy instance {self.policy!r} is already used by "
+                "another live scheduler; pass a fresh instance or a "
+                "policy name"
+            )
+        self.policy._bound_engine = engine
+        self.policy.reset()  # a reused instance must not carry over state
+        self.policy_name = self.policy.name
+        # Bound policy hooks, cached once: these run on every scheduling
+        # decision and every enqueue.
+        self._place = self.policy.place
+        self._next_local = self.policy.next_local
+        self._select_victim = self.policy.select_victim
         self._workers = [_Worker(i) for i in range(cores)]
         self._started = False
         self.tasks_executed = 0
@@ -92,14 +128,8 @@ class Scheduler:
     # -- task admission -----------------------------------------------------------
 
     def home_worker(self, task) -> _Worker:
-        # "a hash over this identifier determines which worker's task
-        # queue the task should be assigned to" (section 5).  A task may
-        # carry an explicit ``home_hint`` (used by microbenchmarks that
-        # need controlled placement).
-        hint = getattr(task, "home_hint", None)
-        if hint is not None:
-            return self._workers[hint % self.cores]
-        return self._workers[stable_hash(task.task_id) % self.cores]
+        """The worker queue this task is enqueued on (policy ``place``)."""
+        return self._place(task, self._workers)
 
     def notify_runnable(self, task) -> None:
         """Called when a task gains input; enqueues it exactly once."""
@@ -129,47 +159,49 @@ class Scheduler:
 
     # -- worker loop -----------------------------------------------------------------
 
-    def _budget(self) -> Optional[float]:
-        if self.policy == "cooperative":
-            return self.timeslice_us
-        if self.policy == "round_robin":
-            return 0.0  # exactly one item
-        return None  # non-cooperative: run to completion
-
     def _worker_loop(self, worker: _Worker):
         engine = self.engine
+        timeout = engine.timeout
+        policy = self.policy
+        budget_of = policy.budget
+        steps_of = policy.steps_per_decision
+        decision_done = policy.on_task_done
+        next_task = self._next_task
+        notify_runnable = self.notify_runnable
         while True:
-            task, stolen = self._next_task(worker)
+            task, stolen = next_task(worker)
             if task is None:
                 worker.sleeping = True
-                worker.wake = engine.event()
-                yield worker.wake
+                worker.wake = wake = engine.event()
+                yield wake
                 continue
             task.sched_state = RUNNING
             task.pending_wakeup = False
-            elapsed, emissions = task.step(self._budget())
+            elapsed, emissions = task.step(budget_of(task))
+            extra_steps = steps_of(task) - 1
+            while extra_steps > 0 and task.has_work():
+                extra_steps -= 1
+                more_us, more_emissions = task.step(budget_of(task))
+                elapsed += more_us
+                emissions += more_emissions
             cost = elapsed + SCHEDULE_US + (STEAL_US if stolen else 0.0)
             worker.busy_us += cost
             self.tasks_executed += 1
+            decision_done(task, worker, elapsed)
             if cost > 0:
-                yield engine.timeout(cost)
+                yield timeout(cost)
             for emit in emissions:
                 emit()
             task.sched_state = IDLE
             if task.has_work() or task.pending_wakeup:
                 task.pending_wakeup = False
-                self.notify_runnable(task)
+                notify_runnable(task)
 
     def _next_task(self, worker: _Worker):
         if worker.queue:
-            return worker.queue.popleft(), False
-        # Scavenge from the longest foreign queue.
-        victim = None
-        for other in self._workers:
-            if other is not worker and other.queue:
-                if victim is None or len(other.queue) > len(victim.queue):
-                    victim = other
-        if victim is not None:
+            return self._next_local(worker), False
+        victim = self._select_victim(worker, self._workers)
+        if victim is not None and victim.queue:
             worker.steals += 1
             return victim.queue.popleft(), True
         return None, False
@@ -181,9 +213,16 @@ class TaskBase:
     Subclasses provide ``has_work`` and ``step(budget_us)``; ``step``
     returns ``(virtual_us_consumed, emission_thunks)`` and must respect
     the budget: ``None`` = run to completion, ``0`` = one item.
+
+    ``home_hint``, when set, pins the task to a worker index (modulo the
+    core count) instead of hash placement — used by dispatch tasks and
+    microbenchmarks that need controlled placement.
     """
 
-    _ids = iter(range(1, 1 << 62))
+    _ids = itertools.count(1)
+
+    #: Optional worker-index pin honoured by the default placement policy.
+    home_hint: Optional[int] = None
 
     def __init__(self, name: str):
         self.name = name
@@ -192,6 +231,20 @@ class TaskBase:
         self.pending_wakeup = False
         self.items_processed = 0
         self.busy_us = 0.0
+
+    @classmethod
+    def reset_ids(cls, start: int = 1) -> None:
+        """Restart id allocation (deterministic placement per run).
+
+        Ids drive hash placement and key adaptive policy state (e.g.
+        priority's per-task cost map), so they must stay unique among
+        tasks sharing a scheduler.  Reset only between runs — never
+        while a scheduler with live tasks will still create more — so
+        placement doesn't depend on how many tasks earlier runs created.
+        Callers that reset around a scoped run should restore
+        monotonicity afterwards (see ``run_scheduling_experiment``).
+        """
+        cls._ids = itertools.count(start)
 
     def has_work(self) -> bool:
         raise NotImplementedError

@@ -1,0 +1,16 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.runtime.scheduler import TaskBase
+
+
+@pytest.fixture(autouse=True)
+def _fresh_task_ids():
+    """Restart task-id allocation per test.
+
+    Hash placement derives from task ids, so without this a test's
+    placement would depend on how many tasks earlier tests created.
+    """
+    TaskBase.reset_ids()
+    yield

@@ -1,0 +1,471 @@
+"""Scheduling-policy layer: registry, golden parity, new policies.
+
+The GOLDEN numbers below were produced by the pre-refactor scheduler
+(policy branches hard-coded in ``Scheduler._budget``) on the Figure-7
+workload at 60 tasks x 80 items on 8 cores.  The policy/mechanism split
+must reproduce them bit-for-bit: any drift means the mechanism no longer
+matches the paper's evaluation.
+"""
+
+import pytest
+
+from repro.bench.scheduling import (
+    resolve_policy_selection,
+    run_policy_sweep,
+    run_scheduling_experiment,
+)
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.policy import (
+    PAPER_POLICIES,
+    BatchPolicy,
+    CooperativePolicy,
+    LocalityPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    make_policy,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
+from repro.runtime.scheduler import Scheduler, TaskBase
+from repro.sim.engine import Engine
+
+GOLDEN = {
+    "cooperative": {
+        "light_mean_ms": 2.8394464000000004,
+        "heavy_mean_ms": 19.77924613333334,
+        "light_max_ms": 3.102192000000002,
+        "heavy_max_ms": 21.054784000000012,
+        "makespan_ms": 21.054784000000012,
+    },
+    "non_cooperative": {
+        "light_mean_ms": 8.127984000000001,
+        "heavy_mean_ms": 13.349572000000009,
+        "light_max_ms": 17.04216000000001,
+        "heavy_max_ms": 22.286340000000013,
+        "makespan_ms": 22.286340000000013,
+    },
+    "round_robin": {
+        "light_mean_ms": 19.419434666666554,
+        "heavy_mean_ms": 20.050810133333233,
+        "light_max_ms": 20.799919999999908,
+        "heavy_max_ms": 21.182947999999918,
+        "makespan_ms": 21.182947999999918,
+    },
+}
+
+
+class TestRegistry:
+    def test_paper_policies_registered(self):
+        names = registered_policies()
+        for name in PAPER_POLICIES:
+            assert name in names
+
+    def test_new_policies_registered(self):
+        names = registered_policies()
+        for name in ("locality", "batch", "priority"):
+            assert name in names
+
+    def test_paper_policies_listed_first(self):
+        assert registered_policies()[:3] == PAPER_POLICIES
+
+    def test_make_policy_unknown_rejected(self):
+        with pytest.raises(RuntimeFlickError):
+            make_policy("fifo")
+
+    def test_resolve_accepts_instance(self):
+        policy = CooperativePolicy(timeslice_us=25.0)
+        assert resolve_policy(policy) is policy
+
+    def test_resolve_accepts_name(self):
+        policy = resolve_policy("cooperative", timeslice_us=30.0)
+        assert isinstance(policy, CooperativePolicy)
+        assert policy.timeslice_us == 30.0
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(RuntimeFlickError):
+            resolve_policy(42)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RuntimeFlickError):
+            @register_policy
+            class Clash(SchedulingPolicy):
+                name = "cooperative"
+
+    def test_scheduler_exposes_policy_name(self):
+        sched = Scheduler(Engine(), 2, 50.0, "locality")
+        assert sched.policy_name == "locality"
+        assert isinstance(sched.policy, LocalityPolicy)
+
+    def test_selection_spec_parsing(self):
+        assert resolve_policy_selection("paper") == PAPER_POLICIES
+        assert resolve_policy_selection("all") == registered_policies()
+        assert resolve_policy_selection("batch, priority") == (
+            "batch",
+            "priority",
+        )
+
+    def test_selection_spec_empty_rejected(self):
+        with pytest.raises(RuntimeFlickError):
+            resolve_policy_selection(",")
+
+    def test_selection_spec_typo_rejected_before_any_run(self):
+        with pytest.raises(RuntimeFlickError, match="roud_robin"):
+            resolve_policy_selection("cooperative,roud_robin")
+
+
+class TestCliPolicyFlag:
+    def test_unknown_policy_is_a_clean_error(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["fig7", "--quick", "--policy", "fifo"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scheduling policy 'fifo'" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_empty_policy_is_a_clean_error(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["fig7", "--quick", "--policy", ","]) == 2
+        assert "selects no policies" in capsys.readouterr().err
+
+    def test_policy_typo_rejected_before_any_target_runs(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["all", "--quick", "--policy", "fifo"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scheduling policy" in captured.err
+        # No experiment output: the typo was caught before e1/fig4/...
+        assert "E1" not in captured.out
+        assert "Figure" not in captured.out
+
+
+class TestGoldenParity:
+    """The three paper policies reproduce the pre-refactor Figure-7
+    numbers exactly."""
+
+    @pytest.mark.parametrize("policy", PAPER_POLICIES)
+    def test_figure7_parity(self, policy):
+        result = run_scheduling_experiment(
+            policy, n_tasks=60, items_per_task=80, cores=8
+        )
+        for field, want in GOLDEN[policy].items():
+            got = getattr(result, field)
+            assert got == pytest.approx(want, rel=0, abs=1e-9), (
+                f"{policy}.{field}: {got!r} != golden {want!r}"
+            )
+
+    def test_parity_stable_across_repeats(self):
+        first = run_scheduling_experiment(
+            "cooperative", n_tasks=40, items_per_task=40, cores=4
+        )
+        second = run_scheduling_experiment(
+            "cooperative", n_tasks=40, items_per_task=40, cores=4
+        )
+        assert first.as_dict() == second.as_dict()
+
+
+class _FakeWorker:
+    def __init__(self, index, queue_len):
+        self.index = index
+        self.queue = [object()] * queue_len
+
+
+class TestVictimSelection:
+    def test_default_steals_longest(self):
+        workers = [_FakeWorker(0, 0), _FakeWorker(1, 1), _FakeWorker(2, 3)]
+        policy = CooperativePolicy()
+        assert policy.select_victim(workers[0], workers) is workers[2]
+
+    def test_default_skips_self_and_empty(self):
+        workers = [_FakeWorker(0, 5), _FakeWorker(1, 0)]
+        policy = CooperativePolicy()
+        assert policy.select_victim(workers[0], workers) is None
+
+    def test_locality_steals_nearest(self):
+        workers = [
+            _FakeWorker(0, 0),
+            _FakeWorker(1, 1),
+            _FakeWorker(2, 0),
+            _FakeWorker(3, 3),
+        ]
+        policy = LocalityPolicy()
+        # Longest queue is worker 3, but worker 1 is nearer to worker 0.
+        assert policy.select_victim(workers[0], workers) is workers[1]
+
+    def test_locality_wraps_around_the_ring(self):
+        workers = [
+            _FakeWorker(0, 2),
+            _FakeWorker(1, 0),
+            _FakeWorker(2, 0),
+            _FakeWorker(3, 0),
+        ]
+        policy = LocalityPolicy()
+        assert policy.select_victim(workers[3], workers) is workers[0]
+        # worker 1's nearest non-empty neighbour is worker 0 (distance 3).
+        assert policy.select_victim(workers[1], workers) is workers[0]
+
+
+class _ItemTask(TaskBase):
+    def __init__(self, name, n, cost_us):
+        super().__init__(name)
+        self.remaining = n
+        self.cost_us = cost_us
+
+    def has_work(self):
+        return self.remaining > 0
+
+    def step(self, budget_us):
+        elapsed = 0.0
+        while self.remaining > 0:
+            self.remaining -= 1
+            elapsed += self.cost_us
+            self.items_processed += 1
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        self.busy_us += elapsed
+        return elapsed, []
+
+
+class TestBatchPolicy:
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(RuntimeFlickError):
+            BatchPolicy(k=0)
+
+    def test_amortises_schedule_cost(self):
+        """k items per decision => ~1/k the decisions of round robin."""
+
+        def decisions(policy):
+            engine = Engine()
+            sched = Scheduler(engine, 2, 50.0, policy)
+            tasks = [_ItemTask(f"t{i}", 64, 2.0) for i in range(4)]
+            sched.start()
+            for t in tasks:
+                sched.notify_runnable(t)
+            engine.run()
+            assert all(t.remaining == 0 for t in tasks)
+            return sched.tasks_executed
+
+        rr = decisions("round_robin")
+        batched = decisions(BatchPolicy(k=8))
+        assert batched < rr / 4
+
+    def test_batch_beats_round_robin_makespan(self):
+        rr = run_scheduling_experiment(
+            "round_robin", n_tasks=20, items_per_task=50, cores=4
+        )
+        batch = run_scheduling_experiment(
+            "batch", n_tasks=20, items_per_task=50, cores=4
+        )
+        assert batch.makespan_ms < rr.makespan_ms
+
+
+class TestPriorityPolicy:
+    def test_light_tasks_not_starved(self):
+        """On one core, weighted picking gets light tasks out well before
+        plain FIFO-cooperative does, at equal makespan."""
+        coop = run_scheduling_experiment(
+            "cooperative", n_tasks=8, items_per_task=40, cores=1
+        )
+        prio = run_scheduling_experiment(
+            "priority", n_tasks=8, items_per_task=40, cores=1
+        )
+        assert prio.light_mean_ms < 0.75 * coop.light_mean_ms
+        assert prio.makespan_ms == pytest.approx(coop.makespan_ms, rel=0.05)
+
+    def test_ewma_tracks_cost(self):
+        policy = PriorityPolicy(smoothing=0.5)
+        task = _ItemTask("t", 1, 1.0)
+        policy.on_task_done(task, None, 10.0)
+        policy.on_task_done(task, None, 20.0)
+        assert policy._mean_cost[task.task_id] == pytest.approx(15.0)
+
+    def test_scheduler_adopts_instance_timeslice(self):
+        """A passed-in instance keeps its own budget, and the scheduler
+        reports the effective value instead of the ignored argument."""
+        sched = Scheduler(
+            Engine(), 1, timeslice_us=10.0,
+            policy=CooperativePolicy(timeslice_us=25.0),
+        )
+        assert sched.timeslice_us == 25.0
+        assert sched.policy.budget(None) == 25.0
+        # Name specs still take the scheduler's timeslice.
+        sched = Scheduler(Engine(), 1, timeslice_us=10.0, policy="cooperative")
+        assert sched.timeslice_us == 10.0
+        assert sched.policy.budget(None) == 10.0
+
+    def test_instance_shared_across_live_engines_rejected(self):
+        """An engine with events still in flight counts as live: its
+        policy instance cannot be adopted by another scheduler."""
+        policy = PriorityPolicy()
+        engine_a = Engine()
+        sched_a = Scheduler(engine_a, 2, 50.0, policy)
+        sched_a.start()  # worker processes now pending on engine_a
+        with pytest.raises(RuntimeFlickError):
+            Scheduler(Engine(), 2, 50.0, policy)
+        engine_a.run()  # drains: sequential reuse becomes legal again
+        Scheduler(Engine(), 2, 50.0, policy)
+
+    def test_experiment_preserves_id_monotonicity(self):
+        """run_scheduling_experiment scopes ids internally but restores
+        a monotonic counter, so tasks created after it can never collide
+        with tasks created before it."""
+        before = _ItemTask("before", 1, 1.0)
+        run_scheduling_experiment(
+            "cooperative", n_tasks=20, items_per_task=5, cores=2
+        )
+        after = _ItemTask("after", 1, 1.0)
+        assert after.task_id > before.task_id
+        assert after.task_id > 20  # past the experiment's id range too
+
+    def test_instance_shared_within_one_simulation_rejected(self):
+        """Two schedulers on the same engine must not share one policy's
+        mutable state; sequential reuse (fresh engine) stays allowed."""
+        engine = Engine()
+        policy = PriorityPolicy()
+        Scheduler(engine, 2, 50.0, policy)
+        with pytest.raises(RuntimeFlickError):
+            Scheduler(engine, 2, 50.0, policy)
+        # A fresh engine (a new run) may adopt the same instance.
+        Scheduler(Engine(), 2, 50.0, policy)
+
+    def test_completed_tasks_evicted_from_cost_map(self):
+        """Priority's EWMA map stays bounded: entries are dropped once a
+        task has nothing queued."""
+        policy = PriorityPolicy()
+        task = _ItemTask("t", 1, 1.0)
+        policy.on_task_done(task, None, 5.0)
+        assert task.task_id in policy._mean_cost
+        task.remaining = 0
+        policy.on_task_done(task, None, 5.0)
+        assert task.task_id not in policy._mean_cost
+
+    def test_reused_instance_is_deterministic(self):
+        """A scheduler adopting a policy resets its learned state, so a
+        reused instance cannot leak EWMA costs across runs (task ids are
+        recycled per run and would collide)."""
+        policy = PriorityPolicy()
+        first = run_scheduling_experiment(
+            policy, n_tasks=8, items_per_task=40, cores=1
+        )
+        second = run_scheduling_experiment(
+            policy, n_tasks=8, items_per_task=40, cores=1
+        )
+        assert first.as_dict() == second.as_dict()
+
+    def test_next_local_pops_cheapest_and_keeps_order(self):
+        from collections import deque
+
+        policy = PriorityPolicy()
+        a, b, c = (_ItemTask(n, 1, 1.0) for n in "abc")
+        policy.on_task_done(a, None, 30.0)
+        policy.on_task_done(b, None, 5.0)
+        policy.on_task_done(c, None, 20.0)
+
+        class W:
+            pass
+
+        worker = W()
+        worker.queue = deque([a, b, c])
+        assert policy.next_local(worker) is b
+        assert list(worker.queue) == [a, c]
+
+
+class TestPolicySweep:
+    def test_all_registered_policies_run_end_to_end(self):
+        results = run_policy_sweep(
+            registered_policies(), n_tasks=12, items_per_task=10, cores=4
+        )
+        assert set(results) == set(registered_policies())
+        for result in results.values():
+            assert result.makespan_ms > 0
+            assert result.light_mean_ms <= result.makespan_ms
+
+    def test_sweep_accepts_instances(self):
+        results = run_policy_sweep(
+            [BatchPolicy(k=4), CooperativePolicy()],
+            n_tasks=8,
+            items_per_task=8,
+            cores=2,
+        )
+        assert set(results) == {"batch", "cooperative"}
+
+    def test_sweep_keeps_same_named_instances_apart(self):
+        """Parameter sweeps over one policy class must not silently
+        overwrite each other's results."""
+        results = run_policy_sweep(
+            [BatchPolicy(k=1), BatchPolicy(k=16)],
+            n_tasks=8,
+            items_per_task=16,
+            cores=2,
+        )
+        assert set(results) == {"batch", "batch#2"}
+        # k=1 pays SCHEDULE_US per item, k=16 amortises it.
+        assert results["batch#2"].makespan_ms < results["batch"].makespan_ms
+
+
+class TestPlatformPolicyThreading:
+    def test_config_accepts_any_registered_name(self):
+        from repro.runtime.costs import RuntimeConfig
+
+        cfg = RuntimeConfig(policy="priority")
+        assert cfg.policy == "priority"
+
+    def test_config_accepts_instance(self):
+        from repro.runtime.costs import RuntimeConfig
+
+        policy = BatchPolicy(k=2)
+        assert RuntimeConfig(policy=policy).policy is policy
+
+    def test_config_rejects_unknown(self):
+        from repro.runtime.costs import RuntimeConfig
+
+        with pytest.raises(ValueError):
+            RuntimeConfig(policy="fifo")
+        with pytest.raises(ValueError):
+            RuntimeConfig(policy=42)
+
+    def test_platform_policy_override(self):
+        from repro.net.simnet import GBPS
+        from repro.net.tcp import TcpNetwork
+        from repro.runtime.platform import FlickPlatform
+
+        engine = Engine()
+        net = TcpNetwork(engine)
+        mbox = net.add_host("mbox", 10 * GBPS, "core")
+        platform = FlickPlatform(engine, net, mbox, policy="locality")
+        assert platform.scheduler.policy_name == "locality"
+
+    def test_platform_accepts_policy_instance(self):
+        from repro.net.simnet import GBPS
+        from repro.net.tcp import TcpNetwork
+        from repro.runtime.platform import FlickPlatform
+
+        engine = Engine()
+        net = TcpNetwork(engine)
+        mbox = net.add_host("mbox", 10 * GBPS, "core")
+        policy = BatchPolicy(k=4)
+        platform = FlickPlatform(engine, net, mbox, policy=policy)
+        assert platform.scheduler.policy is policy
+
+    def test_task_ids_stay_unique_across_platforms(self):
+        """Building a second platform must not reset the process-global
+        id counter: live tasks of the first platform would collide."""
+        from repro.net.simnet import GBPS
+        from repro.net.tcp import TcpNetwork
+        from repro.runtime.platform import FlickPlatform
+
+        engine = Engine()
+        net = TcpNetwork(engine)
+        before = _ItemTask("before", 1, 1.0)
+        FlickPlatform(
+            engine, net, net.add_host("a", 10 * GBPS, "core")
+        )
+        between = _ItemTask("between", 1, 1.0)
+        FlickPlatform(
+            engine, net, net.add_host("b", 10 * GBPS, "core")
+        )
+        after = _ItemTask("after", 1, 1.0)
+        assert before.task_id < between.task_id < after.task_id

@@ -210,6 +210,115 @@ class TestScheduler:
             Scheduler(Engine(), 2, 50.0, "fifo")
 
 
+class TestSchedulerWakeups:
+    """Deterministic drives of the wake/steal paths through the sim."""
+
+    def _sleeping(self, sched):
+        return [w for w in sched._workers if w.sleeping]
+
+    def test_wake_rouses_only_home_worker(self):
+        engine = Engine()
+        sched = Scheduler(engine, 3, 50.0)
+        sched.start()
+        engine.run()  # no work: all three workers go to sleep
+        assert len(self._sleeping(sched)) == 3
+
+        task = _CountingTask("t", 4, 5.0, engine)
+        task.home_hint = 1
+        sched.notify_runnable(task)
+        # Exactly the home worker woke; the other two still sleep.
+        assert not sched._workers[1].sleeping
+        assert len(self._sleeping(sched)) == 2
+        engine.run()
+        assert task.remaining == 0
+        assert all(w.steals == 0 for w in sched._workers)
+
+    def test_busy_home_wakes_exactly_one_thief(self):
+        engine = Engine()
+        sched = Scheduler(engine, 3, 50.0)
+        sched.start()
+        engine.run()
+        first = _CountingTask("first", 40, 5.0, engine)
+        first.home_hint = 0
+        sched.notify_runnable(first)
+        engine.run(until=engine.now + 10.0)  # worker 0 is mid-timeslice
+        from repro.runtime.scheduler import RUNNING
+
+        assert first.sched_state == RUNNING
+
+        second = _CountingTask("second", 4, 5.0, engine)
+        second.home_hint = 0
+        sched.notify_runnable(second)
+        # Home worker is busy: exactly one sleeper was roused to steal.
+        assert len(self._sleeping(sched)) == 1
+        engine.run()
+        assert second.remaining == 0
+        assert sum(w.steals for w in sched._workers) == 1
+        # The never-woken worker slept through the whole run.
+        assert len(self._sleeping(sched)) >= 1
+
+    def test_notify_while_queued_enqueues_once(self):
+        engine = Engine()
+        sched = Scheduler(engine, 2, 50.0)
+        task = _CountingTask("t", 3, 1.0, engine)
+        task.home_hint = 0
+        sched.start()
+        for _ in range(5):
+            sched.notify_runnable(task)
+        assert list(sched._workers[0].queue).count(task) == 1
+        engine.run()
+        assert task.remaining == 0
+
+    def test_pending_wakeup_race_enqueues_once(self):
+        """A task notified while RUNNING (e.g. by its own emissions) is
+        re-enqueued exactly once, after the timeslice ends."""
+        engine = Engine()
+        sched = Scheduler(engine, 1, 50.0)
+
+        class SelfNotifyingTask(TaskBase):
+            def __init__(self):
+                super().__init__("selfnotify")
+                self.remaining = 10
+                self.queue_hits = []
+
+            def has_work(self):
+                return self.remaining > 0
+
+            def step(self, budget_us):
+                elapsed = 0.0
+                while self.remaining > 0:
+                    self.remaining -= 1
+                    elapsed += 10.0
+                    if budget_us is not None and elapsed >= budget_us:
+                        break
+
+                def emit():
+                    # Emissions run while sched_state is still RUNNING:
+                    # these notifies must only set pending_wakeup, never
+                    # enqueue a second copy.
+                    sched.notify_runnable(self)
+                    sched.notify_runnable(self)
+                    self.queue_hits.append(
+                        sum(
+                            list(w.queue).count(self)
+                            for w in sched._workers
+                        )
+                    )
+
+                return elapsed, [emit] if elapsed > 0 else []
+
+        task = SelfNotifyingTask()
+        sched.start()
+        sched.notify_runnable(task)
+        engine.run()
+        assert task.remaining == 0
+        # The task was never present in any queue during its own timeslice.
+        assert task.queue_hits and all(n == 0 for n in task.queue_hits)
+        # 10 items at 10us under a 50us slice = 2 full slices, plus one
+        # final zero-work decision forced by the emission-time notifies.
+        assert sched.tasks_executed == 3
+
+
 def _mk(key, value="1"):
     return Record("kv", {"key": key, "value": value})
 
