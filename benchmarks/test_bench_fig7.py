@@ -14,7 +14,7 @@ Paper: with 200 tasks (100 over 1 KB items, 100 over 16 KB items):
 import pytest
 
 from benchmarks.conftest import print_series, run_once
-from repro.bench.scheduling import run_scheduling_experiment
+from repro.bench.scheduling import SyntheticTask, run_scheduling_experiment
 from repro.runtime.policy import PAPER_POLICIES, registered_policies
 
 POLICIES = PAPER_POLICIES
@@ -114,3 +114,107 @@ def test_fig7_new_policies_extend_the_figure(benchmark):
     )
     assert results["batch"].makespan_ms < results["round_robin"].makespan_ms
     assert results["batch"].light_mean_ms > 0.8 * results["batch"].heavy_mean_ms
+
+
+def test_fig7_roadmap_policies_rows(benchmark):
+    """The four roadmap policies (deadline / numa / adaptive-timeslice /
+    steal-half) produce Figure-7 rows alongside the paper trio: EDF with
+    size-proportional SLOs frees light tasks fastest of all, and the
+    others keep the cooperative fairness shape at equal makespan."""
+
+    def sweep():
+        return {
+            policy: run_scheduling_experiment(
+                policy, n_tasks=200, items_per_task=200, cores=16
+            )
+            for policy in (
+                "cooperative",
+                "round_robin",
+                "deadline",
+                "numa",
+                "adaptive-timeslice",
+                "steal-half",
+            )
+        }
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        f"{policy:18s} light={r.light_mean_ms:7.1f}ms "
+        f"heavy={r.heavy_mean_ms:7.1f}ms makespan={r.makespan_ms:7.1f}ms"
+        for policy, r in results.items()
+    ]
+    print_series("Figure 7, roadmap policies (virtual ms)", rows)
+
+    coop = results["cooperative"]
+    # Tight SLOs on light tasks make EDF the most aggressive
+    # light-first policy on the figure.
+    assert results["deadline"].light_mean_ms < coop.light_mean_ms
+    # numa and steal-half keep cooperative's light-first fairness.
+    for policy in ("numa", "steal-half"):
+        result = results[policy]
+        assert result.light_mean_ms < result.heavy_mean_ms / 4, policy
+    # Deep queues (200 tasks on 16 cores) push the adaptive budget to
+    # the 10 µs floor, so it lands between cooperative's long slices
+    # and round robin's per-item interleave on the light axis.
+    adaptive = results["adaptive-timeslice"]
+    assert (
+        coop.light_mean_ms
+        < adaptive.light_mean_ms
+        < results["round_robin"].light_mean_ms
+    )
+    # None of the four buys fairness with total runtime.
+    for policy in ("deadline", "numa", "adaptive-timeslice", "steal-half"):
+        assert results[policy].makespan_ms == pytest.approx(
+            coop.makespan_ms, rel=0.05
+        ), policy
+
+
+def test_fig7_numa_topology_prices_remote_steals(benchmark):
+    """On a two-socket topology the numa policy's on-socket preference
+    pays less steal cost than topology-blind longest-queue stealing."""
+
+    def sweep():
+        from repro.runtime.scheduler import Scheduler, TaskBase
+        from repro.sim.engine import Engine
+
+        costs = {}
+        for policy in ("cooperative", "numa"):
+            TaskBase.reset_ids()
+            engine = Engine()
+            sched = Scheduler(engine, 16, 50.0, policy, "two-socket")
+            # Imbalanced piles on BOTH sockets: a socket-1 thief has a
+            # local victim (core 8) and a longer remote one (core 0).
+            # Longest-queue stealing reaches across the interconnect;
+            # numa stays on-socket and skips the penalty.
+            tasks = []
+            for i in range(40):
+                task = SyntheticTask(f"a{i}", 60, 4 * 1024, engine)
+                task.home_hint = 0
+                tasks.append(task)
+            for i in range(20):
+                task = SyntheticTask(f"b{i}", 60, 4 * 1024, engine)
+                task.home_hint = 8
+                tasks.append(task)
+            sched.start()
+            for task in tasks:
+                sched.notify_runnable(task)
+            engine.run()
+            assert all(not t.has_work() for t in tasks)
+            costs[policy] = (sched.total_steal_us, sched.total_steals)
+        return costs
+
+    costs = run_once(benchmark, sweep)
+    coop_us, coop_steals = costs["cooperative"]
+    numa_us, numa_steals = costs["numa"]
+    print_series(
+        "two-socket steal cost",
+        [
+            f"cooperative steal_us={coop_us:8.1f} steals={coop_steals}",
+            f"numa        steal_us={numa_us:8.1f} steals={numa_steals}",
+        ],
+    )
+    assert numa_steals > 0
+    # On-socket preference cuts both the total steal bill and the
+    # average price per steal.
+    assert numa_us < coop_us
+    assert numa_us / numa_steals < coop_us / coop_steals

@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench fig6        # Hadoop aggregator vs cores
     python -m repro.bench fig7        # scheduling policies
     python -m repro.bench fig7 --policy all    # sweep every registered policy
+    python -m repro.bench fig7 --policy all --topology two-socket
     python -m repro.bench all --quick # everything, reduced sizes
 """
 
@@ -33,6 +34,7 @@ from repro.bench.testbeds import (
     run_http_experiment,
     run_memcached_experiment,
 )
+from repro.net.stackprofiles import TOPOLOGIES
 from repro.runtime.policy import registered_policies
 
 
@@ -123,11 +125,15 @@ def _fig7(args) -> None:
     n = 80 if quick else 200
     items = 100 if quick else 200
     names = resolve_policy_selection(args.policy)
+    topology = args.topology
+    suffix = f", topology: {topology}" if topology else ""
     print(
         f"== Figure 7: scheduling policies ({n} tasks, "
-        f"policies: {', '.join(names)}) =="
+        f"policies: {', '.join(names)}{suffix}) =="
     )
-    results = run_policy_sweep(names, n_tasks=n, items_per_task=items)
+    results = run_policy_sweep(
+        names, n_tasks=n, items_per_task=items, topology=topology
+    )
     print(format_policy_table(results))
 
 
@@ -163,6 +169,14 @@ def main(argv: List[str] = None) -> int:
         "(default) runs the three Figure-7 policies, 'all' sweeps every "
         "registered policy, or give a comma-separated list of names. "
         f"Registered: {', '.join(registered_policies())}.",
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        choices=sorted(TOPOLOGIES),
+        help="fig7 only: socket layout of the simulated cores. Prices "
+        "cross-socket steals and feeds the 'numa' policy's placement; "
+        "default is a flat (penalty-free) layout.",
     )
     args = parser.parse_args(argv)
     try:

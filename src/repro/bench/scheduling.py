@@ -16,7 +16,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import RuntimeFlickError
-from repro.runtime.policy import PAPER_POLICIES, registered_policies
+from repro.runtime.policy import (
+    PAPER_POLICIES,
+    closest_policy_name,
+    registered_policies,
+    unknown_policy_message,
+)
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.sim.engine import Engine
 
@@ -25,6 +30,12 @@ PER_BYTE_US = 0.004
 
 LIGHT_ITEM_BYTES = 1 * 1024
 HEAVY_ITEM_BYTES = 16 * 1024
+
+#: SLO slack granted per µs of a task's total work: a task's deadline
+#: budget is twice its ideal (uncontended) runtime, mirroring SLOs that
+#: scale with request size.  The 'deadline' policy consumes this; every
+#: other policy ignores the attribute.
+SLO_SLACK_FACTOR = 2.0
 
 
 class SyntheticTask(TaskBase):
@@ -35,6 +46,7 @@ class SyntheticTask(TaskBase):
         self._engine = engine
         self._remaining = n_items
         self._item_cost = item_bytes * PER_BYTE_US
+        self.slo_us = n_items * self._item_cost * SLO_SLACK_FACTOR
         self.finished_at: Optional[float] = None
 
     def has_work(self) -> bool:
@@ -88,12 +100,15 @@ def run_scheduling_experiment(
     cores: int = 16,
     timeslice_us: float = 50.0,
     interleaved: bool = True,
+    topology=None,
 ) -> SchedulingResult:
     """Run the Figure 7 workload under ``policy`` (name or instance).
 
     Tasks are admitted interleaved (light, heavy, light, ...) so that
     under the non-cooperative policy completion is determined purely by
-    scheduling order, as the paper describes.
+    scheduling order, as the paper describes.  ``topology`` (a
+    :class:`~repro.net.stackprofiles.CoreTopology` or a registered name)
+    labels the cores with sockets and prices cross-socket steals.
     """
     # Scoped task ids: the experiment's placement must not depend on how
     # many tasks the process created before, and the process counter
@@ -103,7 +118,7 @@ def run_scheduling_experiment(
     resume_from = next(TaskBase._ids)
     TaskBase.reset_ids()
     engine = Engine()
-    scheduler = Scheduler(engine, cores, timeslice_us, policy)
+    scheduler = Scheduler(engine, cores, timeslice_us, policy, topology)
     light: List[SyntheticTask] = []
     heavy: List[SyntheticTask] = []
     for index in range(n_tasks):
@@ -174,11 +189,21 @@ def resolve_policy_selection(selection: str) -> Sequence[str]:
     if unknown:
         # Reject up front: a typo must not surface only after the
         # preceding policies' experiments have already run.
-        raise RuntimeFlickError(
-            f"unknown scheduling polic{'ies' if len(unknown) > 1 else 'y'} "
-            f"{', '.join(map(repr, unknown))}; registered: "
-            f"{', '.join(registered_policies())}"
+        if len(unknown) == 1:
+            raise RuntimeFlickError(unknown_policy_message(unknown[0]))
+        message = (
+            f"unknown scheduling policies {', '.join(map(repr, unknown))}; "
+            f"registered: {', '.join(sorted(registered_policies()))}"
         )
+        hints = [
+            f"did you mean {suggestion!r} for {name!r}?"
+            for name in unknown
+            for suggestion in [closest_policy_name(name)]
+            if suggestion is not None
+        ]
+        if hints:
+            message += "; " + " ".join(hints)
+        raise RuntimeFlickError(message)
     return names
 
 

@@ -109,3 +109,78 @@ def profile(name: str) -> StackProfile:
         raise KeyError(
             f"unknown stack profile {name!r}; choose from {sorted(PROFILES)}"
         ) from None
+
+
+@dataclass(frozen=True)
+class CoreTopology:
+    """Socket layout of the middlebox's cores.
+
+    The paper's testbed is a two-socket Xeon; its scheduler treats all
+    cores as equidistant, which is exactly the scenario the ``numa``
+    scheduling policy improves on.  Cores are numbered in socket-major
+    (blocked) order, as Linux enumerates them: cores ``0..c-1`` are
+    socket 0, ``c..2c-1`` socket 1, and so on; a worker count beyond
+    ``sockets * cores_per_socket`` wraps around.
+
+    ``remote_steal_penalty_us`` is the extra cost the mechanism charges
+    a steal that crosses sockets (cold remote cache lines + QPI hop),
+    on top of the flat ``STEAL_US``.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    remote_steal_penalty_us: float
+
+    def __post_init__(self):
+        if self.sockets < 1:
+            raise ValueError(f"need at least one socket, got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise ValueError(
+                f"need at least one core per socket, got "
+                f"{self.cores_per_socket}"
+            )
+        if self.remote_steal_penalty_us < 0:
+            raise ValueError(
+                f"remote steal penalty cannot be negative, got "
+                f"{self.remote_steal_penalty_us}"
+            )
+
+    def socket_of(self, core: int) -> int:
+        """Socket that core index ``core`` lives on."""
+        return (core // self.cores_per_socket) % self.sockets
+
+    def distance(self, a: int, b: int) -> int:
+        """0 for same-socket core pairs, 1 for cross-socket ones."""
+        return 0 if self.socket_of(a) == self.socket_of(b) else 1
+
+
+#: Everything on one socket: no remote steals, the paper's implicit model.
+UNIFORM = CoreTopology(
+    name="uniform", sockets=1, cores_per_socket=16,
+    remote_steal_penalty_us=0.0,
+)
+
+#: The paper's testbed shape: two 8-core sockets.
+TWO_SOCKET = CoreTopology(
+    name="two-socket", sockets=2, cores_per_socket=8,
+    remote_steal_penalty_us=1.8,
+)
+
+#: A denser NUMA box: four 4-core sockets, pricier remote steals.
+FOUR_SOCKET = CoreTopology(
+    name="four-socket", sockets=4, cores_per_socket=4,
+    remote_steal_penalty_us=2.6,
+)
+
+TOPOLOGIES = {t.name: t for t in (UNIFORM, TWO_SOCKET, FOUR_SOCKET)}
+
+
+def core_topology(name: str) -> CoreTopology:
+    """Look up a core topology by name."""
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown core topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None

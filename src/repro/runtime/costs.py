@@ -14,6 +14,7 @@ kernel stack, i.e. ~52 µs of CPU per request).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 #: Virtual µs charged per abstract interpreter/parser op.
 OP_US = 2.3
@@ -50,11 +51,22 @@ class RuntimeConfig:
     'cooperative', 'non_cooperative' and 'round_robin' plus the
     extensions) or is a ready :class:`~repro.runtime.policy.\
 SchedulingPolicy` instance for custom parameters.
+
+    ``slo_us`` is the per-connection service-level objective: the task
+    graph stamps it on every task of an accepted connection, and the
+    'deadline' policy turns it into an EDF deadline at admission
+    (``None`` leaves the policy's default SLO in force).  ``topology``
+    is a :class:`~repro.net.stackprofiles.CoreTopology`, a registered
+    topology name ('uniform', 'two-socket', 'four-socket'), or ``None``
+    for the flat single-socket default; it prices cross-socket steals
+    and feeds the 'numa' policy's placement.
     """
 
     cores: int = 16
     timeslice_us: float = 50.0
     policy: object = "cooperative"
+    slo_us: Optional[float] = None
+    topology: object = None
     stack: str = "kernel"
     graph_pool_size: int = 512
     channel_capacity: int = 4096
@@ -66,6 +78,8 @@ SchedulingPolicy` instance for custom parameters.
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.timeslice_us <= 0:
             raise ValueError("timeslice must be positive")
+        if self.slo_us is not None and self.slo_us <= 0:
+            raise ValueError(f"slo_us must be positive, got {self.slo_us}")
         # Imported lazily: this module is a leaf dependency of the
         # runtime package and must not import it at load time.
         from repro.runtime.policy import SchedulingPolicy, registered_policies
@@ -81,3 +95,16 @@ SchedulingPolicy` instance for custom parameters.
                 "policy must be a registered name or a SchedulingPolicy, "
                 f"got {type(self.policy).__name__}"
             )
+        if self.topology is not None:
+            from repro.net.stackprofiles import CoreTopology, core_topology
+
+            if isinstance(self.topology, str):
+                try:
+                    core_topology(self.topology)
+                except KeyError as exc:
+                    raise ValueError(str(exc.args[0])) from None
+            elif not isinstance(self.topology, CoreTopology):
+                raise ValueError(
+                    "topology must be a registered name or a CoreTopology, "
+                    f"got {type(self.topology).__name__}"
+                )

@@ -157,6 +157,11 @@ class TaskGraph:
         )
 
     def _add_task(self, task) -> None:
+        if self.config.slo_us is not None:
+            # Per-connection SLO: every task serving this connection
+            # inherits the platform SLO, which the 'deadline' scheduling
+            # policy turns into an EDF deadline at admission.
+            task.slo_us = self.config.slo_us
         self.tasks.append(task)
 
     def _notify(self, task) -> Callable[[], None]:

@@ -137,7 +137,11 @@ class FlickPlatform:
             self.config.cores,
             self.config.timeslice_us,
             self.config.policy if policy is None else policy,
+            topology=self.config.topology,
         )
+        # Platform tunables the policy understands (e.g. the deadline
+        # policy's SLO) are adopted after the scheduler reset the policy.
+        self.scheduler.policy.configure(self.config)
         self.buffers = BufferPool(
             self.config.buffer_pool_bytes, self.config.buffer_size
         )

@@ -15,9 +15,15 @@ wake-ups, cost accounting.  Every scheduling *decision* is delegated to a
   worker steals from (``None`` = go to sleep instead);
 * ``next_local(worker)`` — which task an awake worker pops from its own
   queue (FIFO unless the policy reorders);
+* ``steal_count(thief, victim)`` — how many tasks one steal operation
+  takes from the victim's queue (1 unless the policy batches, as the
+  Cilk-style ``steal-half`` policy does);
 * ``steps_per_decision(task)`` / ``on_task_done(task, worker, us)`` —
   how many ``step`` calls one scheduling decision amortises, and a
-  feedback hook fired after each decision (used by adaptive policies).
+  feedback hook fired after each decision (used by adaptive policies);
+* ``configure(config)`` — adopt platform-level tunables (the
+  :class:`~repro.runtime.costs.RuntimeConfig`), e.g. the ``deadline``
+  policy reads per-connection SLOs from ``config.slo_us``.
 
 Policies are registered in a string-keyed registry so every upper layer
 — :class:`~repro.runtime.platform.FlickPlatform`, the bench CLI's
@@ -26,11 +32,13 @@ by name, or pass a pre-built instance for custom parameters.
 
 The three paper policies (``cooperative``, ``non_cooperative``,
 ``round_robin``) reproduce Figure 7 byte-for-byte; ``locality``,
-``batch`` and ``priority`` are scenarios the paper could not test.
+``batch``, ``priority``, ``deadline``, ``numa``, ``adaptive-timeslice``
+and ``steal-half`` are scenarios the paper could not test.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, Optional, Sequence, Type
 
 from repro.core.errors import RuntimeFlickError
@@ -65,9 +73,33 @@ class SchedulingPolicy:
         """Timeslice for one ``task.step`` call (µs, ``0.0``, or ``None``)."""
         return self.timeslice_us
 
+    def max_budget_us(self) -> float:
+        """Upper bound every finite ``budget()`` return respects.
+
+        Part of the policy contract checked by the invariant harness:
+        a finite budget is always in ``[0, max_budget_us()]``.
+        """
+        return self.timeslice_us
+
     def steps_per_decision(self, task) -> int:
         """How many ``step`` calls one scheduling decision amortises."""
         return 1
+
+    def steal_count(self, thief, victim) -> int:
+        """How many tasks one steal takes from ``victim``'s queue (>= 1).
+
+        The mechanism runs the first stolen task immediately and moves
+        the rest onto the thief's own queue; the whole batch is charged
+        as a single steal (Cilk-style amortisation).
+        """
+        return 1
+
+    def configure(self, config) -> None:
+        """Adopt platform tunables from a ``RuntimeConfig`` (duck-typed).
+
+        Called by :class:`~repro.runtime.platform.FlickPlatform` after
+        the scheduler adopts the policy; the default ignores it.
+        """
 
     def place(self, task, workers: Sequence) -> object:
         """Choose the task's home worker (honours ``task.home_hint``)."""
@@ -77,7 +109,13 @@ class SchedulingPolicy:
         return workers[stable_hash(task.task_id) % len(workers)]
 
     def select_victim(self, worker, workers: Sequence) -> Optional[object]:
-        """Pick the foreign queue to steal from (longest, first on ties)."""
+        """Pick the foreign queue to steal from (longest, first on ties).
+
+        Contract: the mechanism steals from the *head* of the returned
+        victim's queue (``steal_count`` tasks, head onward).  A policy
+        that wants a specific task stolen first may reorder the victim's
+        queue here before returning it (see ``DeadlinePolicy``).
+        """
         victim = None
         victim_len = 0
         for other in workers:
@@ -126,6 +164,35 @@ def registered_policies() -> tuple:
     return PAPER_POLICIES + tuple(extras)
 
 
+def closest_policy_name(name: str) -> Optional[str]:
+    """The registered name a typo most plausibly meant, or ``None``.
+
+    Separator slips (``dead-line``, ``adaptive_timeslice``) are matched
+    exactly after stripping ``-``/``_``; anything else falls back to a
+    difflib closest-match so transpositions like ``roud_robin`` are
+    caught too.
+    """
+    canon = name.lower().replace("-", "").replace("_", "")
+    for registered in sorted(_REGISTRY):
+        if registered.replace("-", "").replace("_", "") == canon:
+            return registered
+    matches = difflib.get_close_matches(name, sorted(_REGISTRY), n=1)
+    return matches[0] if matches else None
+
+
+def unknown_policy_message(name: str) -> str:
+    """Error text for an unregistered policy name: sorted valid names
+    plus a near-miss suggestion when the typo is recognisable."""
+    message = (
+        f"unknown scheduling policy {name!r}; registered: "
+        f"{', '.join(sorted(_REGISTRY))}"
+    )
+    suggestion = closest_policy_name(name)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    return message
+
+
 def make_policy(
     name: str, timeslice_us: float = 50.0, **kwargs
 ) -> SchedulingPolicy:
@@ -133,10 +200,7 @@ def make_policy(
     try:
         cls = _REGISTRY[name]
     except KeyError:
-        raise RuntimeFlickError(
-            f"unknown scheduling policy {name!r}; registered: "
-            f"{', '.join(registered_policies())}"
-        ) from None
+        raise RuntimeFlickError(unknown_policy_message(name)) from None
     return cls(timeslice_us=timeslice_us, **kwargs)
 
 
@@ -277,9 +341,276 @@ class PriorityPolicy(SchedulingPolicy):
             if best_cost is None or cost < best_cost:
                 best_index = index
                 best_cost = cost
-        if best_index == 0:
+        return _pop_at(queue, best_index)
+
+
+def _pop_at(queue, index: int) -> object:
+    """Pop ``queue[index]`` from a deque, preserving the others' order."""
+    if index == 0:
+        return queue.popleft()
+    queue.rotate(-index)
+    task = queue.popleft()
+    queue.rotate(index)
+    return task
+
+
+@register_policy
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first over per-connection SLO budgets.
+
+    Every task gets an absolute deadline when it is first admitted:
+    ``now + slo_us``, where the SLO comes from the task itself
+    (``task.slo_us``, stamped per connection by the task graph from
+    ``RuntimeConfig.slo_us``) or falls back to ``default_slo_us``.
+    Workers pop the earliest deadline from their queue, idle workers
+    steal from the queue holding the globally earliest deadline, and a
+    task's step budget is its remaining slack clamped into
+    ``[min_budget_us, timeslice_us]`` — the nearer a task is to missing
+    its SLO, the shorter (hence more frequent) its slices.  The deadline
+    clock restarts on the next admission after a task drains.
+    """
+
+    name = "deadline"
+
+    def __init__(
+        self,
+        timeslice_us: float = 50.0,
+        default_slo_us: float = 10_000.0,
+        min_budget_us: float = 5.0,
+    ):
+        super().__init__(timeslice_us)
+        if default_slo_us <= 0:
+            raise RuntimeFlickError(
+                f"default SLO must be positive, got {default_slo_us}"
+            )
+        if not 0 < min_budget_us <= timeslice_us:
+            raise RuntimeFlickError(
+                f"min budget must be in (0, {timeslice_us}], "
+                f"got {min_budget_us}"
+            )
+        self.default_slo_us = default_slo_us
+        self.min_budget_us = min_budget_us
+        self._deadline: Dict[int, float] = {}
+
+    def configure(self, config) -> None:
+        slo = getattr(config, "slo_us", None)
+        if slo is not None:
+            self.default_slo_us = slo
+
+    def reset(self) -> None:
+        self._deadline.clear()
+
+    def _now(self) -> float:
+        engine = self._bound_engine
+        return engine.now if engine is not None else 0.0
+
+    def deadline_of(self, task) -> float:
+        """The task's absolute deadline, started at first admission."""
+        deadline = self._deadline.get(task.task_id)
+        if deadline is None:
+            slo = getattr(task, "slo_us", None)
+            if slo is None:
+                slo = self.default_slo_us
+            deadline = self._now() + slo
+            self._deadline[task.task_id] = deadline
+        return deadline
+
+    def place(self, task, workers: Sequence) -> object:
+        self.deadline_of(task)  # the SLO clock starts at admission
+        return super().place(task, workers)
+
+    def budget(self, task) -> Optional[float]:
+        slack = self.deadline_of(task) - self._now()
+        return max(self.min_budget_us, min(self.timeslice_us, slack))
+
+    def next_local(self, worker) -> object:
+        queue = worker.queue
+        if len(queue) == 1:
             return queue.popleft()
-        queue.rotate(-best_index)
-        task = queue.popleft()
-        queue.rotate(best_index)
-        return task
+        best_index = 0
+        best_deadline = None
+        for index, task in enumerate(queue):
+            deadline = self.deadline_of(task)
+            if best_deadline is None or deadline < best_deadline:
+                best_index = index
+                best_deadline = deadline
+        return _pop_at(queue, best_index)
+
+    def select_victim(self, worker, workers: Sequence) -> Optional[object]:
+        victim = None
+        best_deadline = None
+        best_index = 0
+        for other in workers:
+            if other is worker:
+                continue
+            for index, task in enumerate(other.queue):
+                deadline = self.deadline_of(task)
+                if best_deadline is None or deadline < best_deadline:
+                    best_deadline = deadline
+                    victim = other
+                    best_index = index
+        if victim is not None and best_index != 0:
+            # Per the select_victim contract the mechanism steals from
+            # the queue head; rotate the earliest-deadline task there so
+            # the steal honours EDF instead of grabbing whatever the
+            # victim admitted first.  (EDF keeps steal_count at 1, so
+            # only the rotated head is taken.)
+            victim.queue.rotate(-best_index)
+        return victim
+
+    def on_task_done(self, task, worker, elapsed_us: float) -> None:
+        if not task.has_work():
+            self._deadline.pop(task.task_id, None)
+
+
+@register_policy
+class NumaPolicy(SchedulingPolicy):
+    """Placement and stealing aware of the socket topology.
+
+    Pairs with :class:`~repro.net.stackprofiles.CoreTopology`: the
+    scheduler labels each worker with its socket and charges
+    cross-socket steals ``remote_steal_penalty_us`` extra.  This policy
+    keeps work on-socket to avoid that penalty: a task is hashed to a
+    *socket* (stable affinity) and placed on that socket's least-loaded
+    core, and idle workers steal the longest same-socket queue before
+    ever reaching across the interconnect.  Without a topology every
+    worker reports socket 0 and the policy degenerates gracefully.
+    """
+
+    name = "numa"
+
+    def __init__(self, timeslice_us: float = 50.0):
+        super().__init__(timeslice_us)
+        self._socket_members: Optional[list] = None
+        self._grouped_workers = None
+
+    def reset(self) -> None:
+        self._socket_members = None
+        self._grouped_workers = None
+
+    @staticmethod
+    def _socket_of(worker) -> int:
+        return getattr(worker, "socket", 0)
+
+    def _groups(self, workers: Sequence) -> list:
+        # place() runs on every enqueue; the socket grouping is fixed
+        # for a scheduler's lifetime, so build it once per worker set.
+        if self._socket_members is None or self._grouped_workers is not workers:
+            by_socket: Dict[int, list] = {}
+            for candidate in workers:
+                by_socket.setdefault(self._socket_of(candidate), []).append(
+                    candidate
+                )
+            self._socket_members = [
+                by_socket[socket] for socket in sorted(by_socket)
+            ]
+            self._grouped_workers = workers
+        return self._socket_members
+
+    def place(self, task, workers: Sequence) -> object:
+        hint = getattr(task, "home_hint", None)
+        if hint is not None:
+            return workers[hint % len(workers)]
+        groups = self._groups(workers)
+        members = groups[stable_hash(task.task_id) % len(groups)]
+        return min(members, key=lambda w: (len(w.queue), w.index))
+
+    def select_victim(self, worker, workers: Sequence) -> Optional[object]:
+        home = self._socket_of(worker)
+        local = remote = None
+        local_len = remote_len = 0
+        for other in workers:
+            if other is worker:
+                continue
+            qlen = len(other.queue)
+            if qlen == 0:
+                continue
+            if self._socket_of(other) == home:
+                if qlen > local_len:
+                    local, local_len = other, qlen
+            elif qlen > remote_len:
+                remote, remote_len = other, qlen
+        return local if local is not None else remote
+
+
+@register_policy
+class AdaptiveTimeslicePolicy(SchedulingPolicy):
+    """Shrink/grow the cooperative budget from observed queue depth.
+
+    Section 5 gives 10-100 µs as the useful timeslice band; this policy
+    sweeps it live.  An EWMA of the post-decision queue depth (fed by
+    ``on_task_done``) measures contention: empty queues mean fairness is
+    cheap, so the budget grows toward ``max_us`` to amortise scheduling
+    overhead; deep queues mean tasks are waiting, so it shrinks toward
+    ``min_us`` to interleave them.  Budgets never leave the band.
+
+    The band defaults scale with the configured quantum — ``min_us =
+    timeslice_us / 5`` and ``max_us = timeslice_us * 2``, i.e. the
+    paper's 10-100 µs at the default 50 µs timeslice — so
+    ``RuntimeConfig(timeslice_us=...)`` moves the whole band; pass
+    explicit bounds to pin it instead.
+    """
+
+    name = "adaptive-timeslice"
+
+    def __init__(
+        self,
+        timeslice_us: float = 50.0,
+        min_us: Optional[float] = None,
+        max_us: Optional[float] = None,
+        depth_saturation: float = 8.0,
+        smoothing: float = 0.2,
+    ):
+        super().__init__(timeslice_us)
+        if min_us is None:
+            min_us = timeslice_us / 5.0
+        if max_us is None:
+            max_us = timeslice_us * 2.0
+        if not 0 < min_us < max_us:
+            raise RuntimeFlickError(
+                f"need 0 < min_us < max_us, got [{min_us}, {max_us}]"
+            )
+        if depth_saturation <= 0:
+            raise RuntimeFlickError(
+                f"depth saturation must be positive, got {depth_saturation}"
+            )
+        if not 0 < smoothing <= 1:
+            raise RuntimeFlickError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.min_us = min_us
+        self.max_us = max_us
+        self.depth_saturation = depth_saturation
+        self.smoothing = smoothing
+        self._depth_ewma = 0.0
+
+    def reset(self) -> None:
+        self._depth_ewma = 0.0
+
+    def max_budget_us(self) -> float:
+        return self.max_us
+
+    def budget(self, task) -> Optional[float]:
+        pressure = min(1.0, self._depth_ewma / self.depth_saturation)
+        return self.max_us - (self.max_us - self.min_us) * pressure
+
+    def on_task_done(self, task, worker, elapsed_us: float) -> None:
+        a = self.smoothing
+        self._depth_ewma = a * len(worker.queue) + (1.0 - a) * self._depth_ewma
+
+
+@register_policy
+class StealHalfPolicy(SchedulingPolicy):
+    """Cilk-style batched stealing: take half the victim's queue at once.
+
+    A thief that went idle is likely to stay idle relative to a loaded
+    victim, so single-task steals just ping-pong it back to the victim's
+    queue.  Taking ``len(queue) // 2`` tasks in one steal pays
+    ``STEAL_US`` (and any cross-socket penalty) once per batch and
+    halves the load imbalance in a single operation.
+    """
+
+    name = "steal-half"
+
+    def steal_count(self, thief, victim) -> int:
+        return max(1, len(victim.queue) // 2)

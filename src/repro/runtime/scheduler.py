@@ -16,8 +16,12 @@ Mechanism invariants, independent of policy:
   (cache affinity), which the policy chooses — by default a hash of the
   task id, as in the paper.
 * An idle worker asks the policy for a steal victim, then sleeps until
-  new work arrives; every steal is charged ``STEAL_US`` and every
-  scheduling decision ``SCHEDULE_US``.
+  new work arrives; every steal is charged ``STEAL_US`` (plus the
+  topology's cross-socket penalty when thief and victim live on
+  different sockets) and every scheduling decision ``SCHEDULE_US``.  A
+  policy may batch a steal (``steal_count``): the thief runs the first
+  stolen task and moves the rest to its own queue, paying the steal
+  cost once for the whole batch.
 * A scheduled task runs until its ``step(budget)`` contract returns:
   ``budget`` is a float timeslice in virtual µs, ``0.0`` for one item,
   or ``None`` for run-to-completion — whatever the policy dictates.
@@ -46,15 +50,28 @@ RUNNING = 2
 
 
 class _Worker:
-    __slots__ = ("index", "queue", "wake", "sleeping", "busy_us", "steals")
+    __slots__ = (
+        "index",
+        "socket",
+        "queue",
+        "wake",
+        "sleeping",
+        "busy_us",
+        "steals",
+        "stolen_tasks",
+        "steal_us",
+    )
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, socket: int = 0):
         self.index = index
+        self.socket = socket
         self.queue: Deque = deque()
         self.wake: Optional[Event] = None
         self.sleeping = False
         self.busy_us = 0.0
         self.steals = 0
+        self.stolen_tasks = 0
+        self.steal_us = 0.0
 
 
 class Scheduler:
@@ -66,6 +83,11 @@ class Scheduler:
     instantiated with ``timeslice_us``; an instance keeps its own
     timeslice (set it on the instance), and ``self.timeslice_us`` always
     reports the effective value.
+
+    ``topology`` (a :class:`~repro.net.stackprofiles.CoreTopology`, a
+    registered topology name, or ``None`` for the flat default) labels
+    each worker with its socket and prices cross-socket steals; the
+    ``numa`` policy consumes the labels to keep work on-socket.
     """
 
     def __init__(
@@ -74,11 +96,22 @@ class Scheduler:
         cores: int,
         timeslice_us: float = 50.0,
         policy="cooperative",
+        topology=None,
     ):
         if cores < 1:
             raise RuntimeFlickError("scheduler needs at least one core")
+        if isinstance(topology, str):
+            # Imported here, not at module load: net is a sibling layer
+            # and only this optional feature reaches into it.
+            from repro.net.stackprofiles import core_topology
+
+            try:
+                topology = core_topology(topology)
+            except KeyError as exc:
+                raise RuntimeFlickError(str(exc.args[0])) from None
         self.engine = engine
         self.cores = cores
+        self.topology = topology
         self.policy = resolve_policy(policy, timeslice_us)
         # The policy's timeslice is the effective one: a passed-in
         # instance keeps the budget it was built with, and this
@@ -103,7 +136,11 @@ class Scheduler:
         self._place = self.policy.place
         self._next_local = self.policy.next_local
         self._select_victim = self.policy.select_victim
-        self._workers = [_Worker(i) for i in range(cores)]
+        self._steal_count = self.policy.steal_count
+        self._workers = [
+            _Worker(i, topology.socket_of(i) if topology else 0)
+            for i in range(cores)
+        ]
         self._started = False
         self.tasks_executed = 0
 
@@ -119,6 +156,21 @@ class Scheduler:
     @property
     def total_busy_us(self) -> float:
         return sum(w.busy_us for w in self._workers)
+
+    @property
+    def total_steals(self) -> int:
+        """Steal operations across all workers (a batch counts once)."""
+        return sum(w.steals for w in self._workers)
+
+    @property
+    def total_stolen_tasks(self) -> int:
+        """Tasks moved between queues by steals (batches count fully)."""
+        return sum(w.stolen_tasks for w in self._workers)
+
+    @property
+    def total_steal_us(self) -> float:
+        """Total steal cost charged, including cross-socket penalties."""
+        return sum(w.steal_us for w in self._workers)
 
     def utilisation(self, duration_us: float) -> float:
         if duration_us <= 0:
@@ -169,7 +221,7 @@ class Scheduler:
         next_task = self._next_task
         notify_runnable = self.notify_runnable
         while True:
-            task, stolen = next_task(worker)
+            task, steal_us = next_task(worker)
             if task is None:
                 worker.sleeping = True
                 worker.wake = wake = engine.event()
@@ -184,7 +236,7 @@ class Scheduler:
                 more_us, more_emissions = task.step(budget_of(task))
                 elapsed += more_us
                 emissions += more_emissions
-            cost = elapsed + SCHEDULE_US + (STEAL_US if stolen else 0.0)
+            cost = elapsed + SCHEDULE_US + steal_us
             worker.busy_us += cost
             self.tasks_executed += 1
             decision_done(task, worker, elapsed)
@@ -198,13 +250,30 @@ class Scheduler:
                 notify_runnable(task)
 
     def _next_task(self, worker: _Worker):
+        """Next task for ``worker`` plus the steal cost it incurred (µs)."""
         if worker.queue:
-            return self._next_local(worker), False
+            return self._next_local(worker), 0.0
         victim = self._select_victim(worker, self._workers)
         if victim is not None and victim.queue:
+            count = max(
+                1, min(int(self._steal_count(worker, victim)),
+                       len(victim.queue))
+            )
+            task = victim.queue.popleft()
+            # Batch steal: the rest of the batch migrates to the thief's
+            # queue (still QUEUED — they only changed queues) and the
+            # steal cost is paid once for all of them.
+            for _ in range(count - 1):
+                worker.queue.append(victim.queue.popleft())
+            cost = STEAL_US
+            topology = self.topology
+            if topology is not None and worker.socket != victim.socket:
+                cost += topology.remote_steal_penalty_us
             worker.steals += 1
-            return victim.queue.popleft(), True
-        return None, False
+            worker.stolen_tasks += count
+            worker.steal_us += cost
+            return task, cost
+        return None, 0.0
 
 
 class TaskBase:
