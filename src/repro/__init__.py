@@ -43,6 +43,8 @@ from repro.runtime import (
     OutboundTarget,
     RuntimeConfig,
     Scheduler,
+    ServiceClass,
+    ServiceClassMap,
 )
 from repro.sim.engine import Engine
 
@@ -64,6 +66,8 @@ __all__ = [
     "OutboundTarget",
     "RuntimeConfig",
     "Scheduler",
+    "ServiceClass",
+    "ServiceClassMap",
     "Engine",
     "__version__",
 ]

@@ -8,7 +8,9 @@ Usage::
     python -m repro.bench fig6        # Hadoop aggregator vs cores
     python -m repro.bench fig7        # scheduling policies
     python -m repro.bench fig7 --policy all    # sweep every registered policy
-    python -m repro.bench fig7 --policy all --topology two-socket
+    python -m repro.bench fig7 --policy all --topology four-socket
+    python -m repro.bench fig7 --policy deadline \\
+        --slo-class light=gold:1000@4 --slo-class heavy=bronze:50000
     python -m repro.bench all --quick # everything, reduced sizes
 """
 
@@ -18,14 +20,16 @@ import argparse
 import sys
 from typing import List
 
-from repro.core.errors import RuntimeFlickError
+from repro.core.errors import ConfigError, RuntimeFlickError
 from repro.bench.report import (
     format_policy_table,
     format_series_chart,
+    format_service_class_table,
     results_to_series,
     summarize,
 )
 from repro.bench.scheduling import (
+    ENDPOINTS,
     resolve_policy_selection,
     run_policy_sweep,
 )
@@ -36,6 +40,7 @@ from repro.bench.testbeds import (
 )
 from repro.net.stackprofiles import TOPOLOGIES
 from repro.runtime.policy import registered_policies
+from repro.runtime.qos import parse_slo_class_specs
 
 
 def _e1(args) -> None:
@@ -126,15 +131,37 @@ def _fig7(args) -> None:
     items = 100 if quick else 200
     names = resolve_policy_selection(args.policy)
     topology = args.topology
+    service_classes = _service_classes(args)
     suffix = f", topology: {topology}" if topology else ""
+    if service_classes:
+        tiers = ", ".join(
+            f"{endpoint}={cls.name}:{cls.slo_us:g}us@{cls.weight:g}"
+            for endpoint, cls in service_classes
+        )
+        suffix += f", classes: {tiers}"
     print(
         f"== Figure 7: scheduling policies ({n} tasks, "
         f"policies: {', '.join(names)}{suffix}) =="
     )
     results = run_policy_sweep(
-        names, n_tasks=n, items_per_task=items, topology=topology
+        names,
+        n_tasks=n,
+        items_per_task=items,
+        topology=topology,
+        service_classes=service_classes,
     )
     print(format_policy_table(results))
+    if service_classes:
+        print()
+        print("-- per-service-class SLO outcomes --")
+        print(format_service_class_table(results))
+
+
+def _service_classes(args):
+    """The fig7 service-class map from repeated ``--slo-class`` flags."""
+    if not getattr(args, "slo_class", None):
+        return None
+    return parse_slo_class_specs(args.slo_class, valid_endpoints=ENDPOINTS)
 
 
 _TARGETS = {
@@ -175,22 +202,35 @@ def main(argv: List[str] = None) -> int:
         default=None,
         choices=sorted(TOPOLOGIES),
         help="fig7 only: socket layout of the simulated cores. Prices "
-        "cross-socket steals and feeds the 'numa' policy's placement; "
-        "default is a flat (penalty-free) layout.",
+        "cross-socket steals per interconnect hop and feeds the 'numa' "
+        "policy's hierarchical placement/stealing; default is a flat "
+        "(penalty-free) layout.",
+    )
+    parser.add_argument(
+        "--slo-class",
+        action="append",
+        default=None,
+        metavar="EP=[NAME:]US[@W]",
+        help="fig7 only, repeatable: bind a workload endpoint ('light' "
+        "or 'heavy') to a QoS tier — e.g. --slo-class light=gold:1000@4 "
+        "--slo-class heavy=bronze:50000. Classified tasks carry the "
+        "class SLO/weight and the sweep reports per-class SLO misses.",
     )
     args = parser.parse_args(argv)
     try:
-        # Reject --policy typos up front, before any (expensive) target
-        # runs — not only when the loop eventually reaches fig7.
+        # Reject --policy / --slo-class typos up front, before any
+        # (expensive) target runs — not only when the loop eventually
+        # reaches fig7.
         resolve_policy_selection(args.policy)
-    except RuntimeFlickError as exc:
+        _service_classes(args)
+    except (RuntimeFlickError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
     for name in targets:
         try:
             _TARGETS[name](args)
-        except RuntimeFlickError as exc:
+        except (RuntimeFlickError, ConfigError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print()

@@ -89,6 +89,47 @@ def format_policy_table(results) -> str:
     )
 
 
+def format_service_class_table(results) -> str:
+    """Per-policy, per-service-class SLO outcome table.
+
+    ``results`` maps policy name to an object with a ``class_stats``
+    dict (class name → completions/misses/latency aggregates, as
+    produced by :meth:`~repro.sim.stats.SloScoreboard.summary`); rows
+    are emitted in the scoreboard's class order.
+    """
+    rows = []
+    for name, result in results.items():
+        for class_name, stats in result.class_stats.items():
+            completions = int(stats.get("completions", 0))
+            misses = int(stats.get("misses", 0))
+            miss_pct = 100.0 * misses / completions if completions else 0.0
+            rows.append(
+                (
+                    name,
+                    class_name,
+                    completions,
+                    misses,
+                    f"{miss_pct:.0f}%",
+                    f"{stats.get('mean_ms', 0.0):.2f}",
+                    f"{stats.get('p99_ms', 0.0):.2f}",
+                )
+            )
+    if not rows:
+        return "(no service-class data)"
+    return format_table(
+        (
+            "policy",
+            "class",
+            "completions",
+            "slo_misses",
+            "miss_rate",
+            "mean_ms",
+            "p99_ms",
+        ),
+        rows,
+    )
+
+
 def results_to_series(
     results: Dict[str, List[RunResult]], field: str = "throughput"
 ) -> Dict[str, List[float]]:

@@ -12,7 +12,7 @@ workload sweeps scheduling scenarios the paper could not test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import RuntimeFlickError
@@ -22,8 +22,13 @@ from repro.runtime.policy import (
     registered_policies,
     unknown_policy_message,
 )
+from repro.runtime.qos import ServiceClassMap
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.sim.engine import Engine
+
+#: The workload's two endpoints, as `--slo-class` sees them: every light
+#: task belongs to endpoint "light", every heavy task to "heavy".
+ENDPOINTS = ("light", "heavy")
 
 #: Cost of the per-byte addition loop (µs/byte of item data).
 PER_BYTE_US = 0.004
@@ -74,7 +79,13 @@ class SyntheticTask(TaskBase):
 
 @dataclass
 class SchedulingResult:
-    """Completion times (ms, virtual) for the two task classes."""
+    """Completion times (ms, virtual) for the two task classes.
+
+    ``class_stats`` is the scheduler scoreboard's per-service-class
+    summary (completions, SLO misses, latency) — keyed by class name
+    when the run carried a service-class map, by "default" otherwise;
+    ``scoreboard`` keeps the full per-completion record log behind it.
+    """
 
     policy: str
     light_mean_ms: float
@@ -82,6 +93,8 @@ class SchedulingResult:
     light_max_ms: float
     heavy_max_ms: float
     makespan_ms: float
+    class_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    scoreboard: object = None
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -101,6 +114,7 @@ def run_scheduling_experiment(
     timeslice_us: float = 50.0,
     interleaved: bool = True,
     topology=None,
+    service_classes=None,
 ) -> SchedulingResult:
     """Run the Figure 7 workload under ``policy`` (name or instance).
 
@@ -109,7 +123,16 @@ def run_scheduling_experiment(
     scheduling order, as the paper describes.  ``topology`` (a
     :class:`~repro.net.stackprofiles.CoreTopology` or a registered name)
     labels the cores with sockets and prices cross-socket steals.
+
+    ``service_classes`` (a :class:`~repro.runtime.qos.ServiceClassMap`
+    or dict shorthand) maps the workload's endpoints — ``"light"`` and
+    ``"heavy"`` — to QoS tiers: a classified task carries its class's
+    SLO and weight instead of the default size-proportional SLO, and
+    the result's ``class_stats`` breaks completions, latency and SLO
+    misses down per class.
     """
+    if service_classes is not None:
+        service_classes = ServiceClassMap.from_spec(service_classes)
     # Scoped task ids: the experiment's placement must not depend on how
     # many tasks the process created before, and the process counter
     # must never move backwards for tasks created after (adaptive
@@ -124,12 +147,18 @@ def run_scheduling_experiment(
     for index in range(n_tasks):
         is_light = (index % 2 == 0) if interleaved else (index < n_tasks // 2)
         size = LIGHT_ITEM_BYTES if is_light else HEAVY_ITEM_BYTES
+        endpoint = "light" if is_light else "heavy"
         task = SyntheticTask(
-            f"{'light' if is_light else 'heavy'}{index}",
+            f"{endpoint}{index}",
             items_per_task,
             size,
             engine,
         )
+        if service_classes is not None:
+            service_class = service_classes.class_for(endpoint)
+            if service_class is not None:
+                task.service_class = service_class
+                task.slo_us = service_class.slo_us
         # Balanced placement: consecutive (light, heavy) pairs share a
         # worker, so every queue has the same class mix.  Hash placement
         # (the platform default) makes each queue's composition a
@@ -164,6 +193,8 @@ def run_scheduling_experiment(
         light_max_ms=max(light_times) / 1000.0,
         heavy_max_ms=max(heavy_times) / 1000.0,
         makespan_ms=max(max(light_times), max(heavy_times)) / 1000.0,
+        class_stats=scheduler.scoreboard.summary(),
+        scoreboard=scheduler.scoreboard,
     )
 
 

@@ -23,6 +23,7 @@ records paper-vs-measured for every figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -122,15 +123,25 @@ class CoreTopology:
     socket 0, ``c..2c-1`` socket 1, and so on; a worker count beyond
     ``sockets * cores_per_socket`` wraps around.
 
+    Socket pairs are separated by interconnect *hops*
+    (:meth:`socket_hops`): by default the sockets form a ring — adjacent
+    sockets are one QPI hop apart, opposite corners of a four-socket box
+    two — or pass ``socket_distances`` (a square hop matrix, indexed
+    ``[a][b]``) to model an arbitrary interconnect.
     ``remote_steal_penalty_us`` is the extra cost the mechanism charges
-    a steal that crosses sockets (cold remote cache lines + QPI hop),
-    on top of the flat ``STEAL_US``.
+    a steal *per hop* between the thief's and the victim's sockets (cold
+    remote cache lines + interconnect forwarding), on top of the flat
+    ``STEAL_US``; on a two-socket box every remote pair is one hop, so
+    this degenerates to the flat penalty of the paper's testbed.
     """
 
     name: str
     sockets: int
     cores_per_socket: int
     remote_steal_penalty_us: float
+    #: Optional explicit hop matrix ``socket_distances[a][b]``; ``None``
+    #: means a ring (``min(|a-b|, sockets-|a-b|)``).
+    socket_distances: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     def __post_init__(self):
         if self.sockets < 1:
@@ -145,14 +156,72 @@ class CoreTopology:
                 f"remote steal penalty cannot be negative, got "
                 f"{self.remote_steal_penalty_us}"
             )
+        if self.socket_distances is not None:
+            matrix = self.socket_distances
+            if len(matrix) != self.sockets or any(
+                len(row) != self.sockets for row in matrix
+            ):
+                raise ValueError(
+                    f"socket distance matrix must be {self.sockets}x"
+                    f"{self.sockets}, got {matrix!r}"
+                )
+            for a in range(self.sockets):
+                if matrix[a][a] != 0:
+                    raise ValueError(
+                        f"socket {a} must be 0 hops from itself, got "
+                        f"{matrix[a][a]}"
+                    )
+                for b in range(self.sockets):
+                    if matrix[a][b] < 0:
+                        raise ValueError(
+                            f"hop counts cannot be negative, got "
+                            f"{matrix[a][b]} for sockets {a}->{b}"
+                        )
+                    if matrix[a][b] != matrix[b][a]:
+                        raise ValueError(
+                            f"hop matrix must be symmetric, but "
+                            f"{a}->{b} is {matrix[a][b]} while "
+                            f"{b}->{a} is {matrix[b][a]}"
+                        )
+                    if a != b and matrix[a][b] == 0:
+                        raise ValueError(
+                            f"distinct sockets {a} and {b} cannot be "
+                            "0 hops apart"
+                        )
 
     def socket_of(self, core: int) -> int:
         """Socket that core index ``core`` lives on."""
         return (core // self.cores_per_socket) % self.sockets
 
+    def socket_hops(self, a: int, b: int) -> int:
+        """Interconnect hops between sockets ``a`` and ``b``.
+
+        0 for the same socket; otherwise the explicit matrix entry or
+        the ring distance.  On a two-socket box every remote pair is one
+        hop, so pre-matrix behaviour is preserved exactly.
+        """
+        if a == b:
+            return 0
+        if self.socket_distances is not None:
+            return self.socket_distances[a][b]
+        span = abs(a - b)
+        return min(span, self.sockets - span)
+
     def distance(self, a: int, b: int) -> int:
-        """0 for same-socket core pairs, 1 for cross-socket ones."""
-        return 0 if self.socket_of(a) == self.socket_of(b) else 1
+        """Hops between the sockets of cores ``a`` and ``b``.
+
+        0 for same-socket core pairs; cross-socket pairs report the full
+        hop count (1 on two-socket boxes, up to ``sockets // 2`` on a
+        ring), not a flat 0/1 flag.
+        """
+        return self.socket_hops(self.socket_of(a), self.socket_of(b))
+
+    def steal_penalty_us(self, thief_socket: int, victim_socket: int) -> float:
+        """Cross-socket surcharge for one steal: hops x per-hop penalty."""
+        return (
+            self.socket_hops(thief_socket, victim_socket)
+            * self.remote_steal_penalty_us
+        )
 
 
 #: Everything on one socket: no remote steals, the paper's implicit model.
@@ -167,7 +236,9 @@ TWO_SOCKET = CoreTopology(
     remote_steal_penalty_us=1.8,
 )
 
-#: A denser NUMA box: four 4-core sockets, pricier remote steals.
+#: A denser NUMA box: four 4-core sockets on a ring interconnect —
+#: adjacent sockets are one hop, opposite ones two, so far steals cost
+#: twice the per-hop penalty.
 FOUR_SOCKET = CoreTopology(
     name="four-socket", sockets=4, cores_per_socket=4,
     remote_steal_penalty_us=2.6,

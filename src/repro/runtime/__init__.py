@@ -14,7 +14,13 @@ from repro.runtime.policy import (
     registered_policies,
     resolve_policy,
 )
-from repro.runtime.scheduler import Scheduler, TaskBase
+from repro.runtime.qos import (
+    ServiceClass,
+    ServiceClassMap,
+    parse_slo_class,
+    parse_slo_class_specs,
+)
+from repro.runtime.scheduler import Scheduler, StealRecord, TaskBase
 from repro.runtime.task import ComputeTask, InputTask, MergeTask, OutputTask
 
 __all__ = [
@@ -39,7 +45,12 @@ __all__ = [
     "register_policy",
     "registered_policies",
     "resolve_policy",
+    "ServiceClass",
+    "ServiceClassMap",
+    "parse_slo_class",
+    "parse_slo_class_specs",
     "Scheduler",
+    "StealRecord",
     "TaskBase",
     "ComputeTask",
     "InputTask",

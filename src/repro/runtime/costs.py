@@ -55,17 +55,23 @@ SchedulingPolicy` instance for custom parameters.
     ``slo_us`` is the per-connection service-level objective: the task
     graph stamps it on every task of an accepted connection, and the
     'deadline' policy turns it into an EDF deadline at admission
-    (``None`` leaves the policy's default SLO in force).  ``topology``
-    is a :class:`~repro.net.stackprofiles.CoreTopology`, a registered
+    (``None`` leaves the policy's default SLO in force).
+    ``service_classes`` refines that single value into per-endpoint QoS
+    tiers: a :class:`~repro.runtime.qos.ServiceClassMap` (or a dict of
+    endpoint → class shorthand, normalised here) whose classes the task
+    graph stamps per endpoint, classified tasks overriding the
+    platform-wide ``slo_us``.  ``topology`` is a
+    :class:`~repro.net.stackprofiles.CoreTopology`, a registered
     topology name ('uniform', 'two-socket', 'four-socket'), or ``None``
     for the flat single-socket default; it prices cross-socket steals
-    and feeds the 'numa' policy's placement.
+    (per interconnect hop) and feeds the 'numa' policy's placement.
     """
 
     cores: int = 16
     timeslice_us: float = 50.0
     policy: object = "cooperative"
     slo_us: Optional[float] = None
+    service_classes: object = None
     topology: object = None
     stack: str = "kernel"
     graph_pool_size: int = 512
@@ -80,6 +86,17 @@ SchedulingPolicy` instance for custom parameters.
             raise ValueError("timeslice must be positive")
         if self.slo_us is not None and self.slo_us <= 0:
             raise ValueError(f"slo_us must be positive, got {self.slo_us}")
+        if self.service_classes is not None:
+            from repro.core.errors import ConfigError
+            from repro.runtime.qos import ServiceClassMap
+
+            try:
+                normalized = ServiceClassMap.from_spec(self.service_classes)
+            except ConfigError as exc:
+                raise ValueError(str(exc)) from None
+            # Frozen dataclass: normalisation has to go through
+            # object.__setattr__, the same escape hatch dataclasses use.
+            object.__setattr__(self, "service_classes", normalized)
         # Imported lazily: this module is a leaf dependency of the
         # runtime package and must not import it at load time.
         from repro.runtime.policy import SchedulingPolicy, registered_policies

@@ -156,8 +156,19 @@ class TaskGraph:
             f"g{self.graph_id}:{name}", self.config.channel_capacity
         )
 
-    def _add_task(self, task) -> None:
-        if self.config.slo_us is not None:
+    def _add_task(self, task, endpoint: Optional[str] = None) -> None:
+        service_class = None
+        if self.config.service_classes is not None:
+            service_class = self.config.service_classes.class_for(
+                endpoint, self.spec.name
+            )
+        if service_class is not None:
+            # Per-endpoint QoS tier: the class SLO overrides the
+            # platform-wide one, and weighted policies read the class
+            # weight off the task.
+            task.service_class = service_class
+            task.slo_us = service_class.slo_us
+        elif self.config.slo_us is not None:
             # Per-connection SLO: every task serving this connection
             # inherits the platform SLO, which the 'deadline' scheduling
             # policy turns into an EDF deadline at admission.
@@ -181,12 +192,26 @@ class TaskGraph:
                 f"process {spec.name!r} is a foldt aggregation; use "
                 "bind_group"
             )
+        client_endpoints = [
+            ep for ep in spec.endpoints if ep.name not in self.bindings.outbound
+        ]
+        if len(client_endpoints) != 1 or client_endpoints[0].is_array:
+            raise RuntimeFlickError(
+                f"process {spec.name!r}: rule graphs need exactly one "
+                "inbound (client) endpoint"
+            )
+        client_ep = client_endpoints[0]
+
         self._client_socket = client_socket
         inbox = self._channel("compute.in")
         compute = ComputeTask(f"g{self.graph_id}:compute", inbox)
         self.compute = compute
         self._wire_channel_to(inbox, compute)
-        self._add_task(compute)
+        # The compute stage serves the client connection: it inherits
+        # the client endpoint's service class, so class-aware policies
+        # and per-class accounting cover the request processing itself,
+        # not just the socket tasks around it.
+        self._add_task(compute, endpoint=client_ep.name)
         # Endpoints whose rules all have the shape ``src => sink`` (no
         # function stages) qualify for the raw-forwarding fast path.
         self._raw_forward: Dict[str, str] = {}
@@ -199,15 +224,6 @@ class TaskGraph:
         self._endpoint_out_channels: Dict[str, TaskChannel] = {}
 
         context: Dict[str, object] = dict(self.globals_store)
-        client_endpoints = [
-            ep for ep in spec.endpoints if ep.name not in self.bindings.outbound
-        ]
-        if len(client_endpoints) != 1 or client_endpoints[0].is_array:
-            raise RuntimeFlickError(
-                f"process {spec.name!r}: rule graphs need exactly one "
-                "inbound (client) endpoint"
-            )
-        client_ep = client_endpoints[0]
 
         # Client-facing output task (responses back to the client).
         if client_ep.writable:
@@ -221,7 +237,7 @@ class TaskGraph:
             )
             out_task.bind_socket(client_socket)
             self._wire_channel_to(out_chan, out_task)
-            self._add_task(out_task)
+            self._add_task(out_task, endpoint=client_ep.name)
             self._endpoint_out_channels[client_ep.name] = out_chan
             proxy = _BufferingSendProxy(out_chan.push)
             compute.register_proxy(proxy)
@@ -254,7 +270,7 @@ class TaskGraph:
                 on_eof=self._teardown,
             )
             in_task.attach(client_socket, self._notify(in_task))
-            self._add_task(in_task)
+            self._add_task(in_task, endpoint=client_ep.name)
 
         # Value parameters (non-channel process arguments).
         if self.bindings.value_params is not None:
@@ -290,7 +306,7 @@ class TaskGraph:
             self.config.cores,
         )
         self._wire_channel_to(out_chan, out_task)
-        self._add_task(out_task)
+        self._add_task(out_task, endpoint=ep.name)
         state = {"connecting": False}
 
         def ensure_connected() -> None:
@@ -320,7 +336,7 @@ class TaskGraph:
                             tag=(ep.name, index),
                         )
                     in_task.attach(socket, self._notify(in_task))
-                    self._add_task(in_task)
+                    self._add_task(in_task, endpoint=ep.name)
                 self.scheduler.notify_runnable(out_task)
 
             self.tcpnet.connect(self.host, target.host, target.port, connected)
@@ -361,7 +377,7 @@ class TaskGraph:
                 self.config.cores,
             )
             in_task.attach(socket, self._notify(in_task))
-            self._add_task(in_task)
+            self._add_task(in_task, endpoint=plan.source)
             streams.append(chan)
 
         # Pairwise merge tree.
@@ -397,7 +413,7 @@ class TaskGraph:
         )
         out_task.bind_socket(sink_socket)
         self._wire_channel_to(streams[0], out_task)
-        self._add_task(out_task)
+        self._add_task(out_task, endpoint=plan.sink)
         del sink_ep
 
     # -- teardown -------------------------------------------------------------------

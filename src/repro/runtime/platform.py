@@ -147,6 +147,12 @@ class FlickPlatform:
         )
         self.programs: Dict[str, ProgramInstance] = {}
 
+    @property
+    def scoreboard(self):
+        """Per-service-class SLO accounting (the scheduler's
+        :class:`~repro.sim.stats.SloScoreboard`)."""
+        return self.scheduler.scoreboard
+
     def register_program(
         self,
         compiled: CompiledProgram,

@@ -25,6 +25,14 @@ wake-ups, cost accounting.  Every scheduling *decision* is delegated to a
   :class:`~repro.runtime.costs.RuntimeConfig`), e.g. the ``deadline``
   policy reads per-connection SLOs from ``config.slo_us``.
 
+Two bindings complete the contract: the adopting scheduler sets
+``_bound_engine`` (simulated clock) and ``_bound_topology`` (the
+:class:`~repro.net.stackprofiles.CoreTopology`, ``None`` when flat) so
+policies can read time and socket distances.  A policy that consumes
+per-endpoint service classes (:mod:`repro.runtime.qos`) declares
+``supports_service_classes = True``, which obliges it to ship
+class-aware golden numbers (CI lockstep gate).
+
 Policies are registered in a string-keyed registry so every upper layer
 — :class:`~repro.runtime.platform.FlickPlatform`, the bench CLI's
 ``--policy`` flag, the Figure-7 microbenchmark — can select any policy
@@ -38,11 +46,11 @@ and ``steal-half`` are scenarios the paper could not test.
 
 from __future__ import annotations
 
-import difflib
 from typing import Dict, Optional, Sequence, Type
 
 from repro.core.errors import RuntimeFlickError
 from repro.core.ids import stable_hash
+from repro.runtime.qos import closest_name
 
 #: The three policies evaluated in the paper (section 6.4, Figure 7).
 PAPER_POLICIES = ("cooperative", "non_cooperative", "round_robin")
@@ -59,10 +67,21 @@ class SchedulingPolicy:
     #: Registry key; subclasses must override.
     name = "abstract"
 
+    #: Whether the policy consumes per-endpoint service classes
+    #: (:mod:`repro.runtime.qos`).  Declaring support obliges the policy
+    #: to ship class-aware golden Figure-7 numbers (enforced by the
+    #: golden/registry lockstep gate in CI).
+    supports_service_classes = False
+
     #: Set by the scheduler that adopts this instance; two schedulers on
     #: the same engine sharing one instance is rejected (shared mutable
     #: policy state would silently cross-contaminate their decisions).
     _bound_engine = None
+
+    #: The adopting scheduler's :class:`~repro.net.stackprofiles.\
+    #: CoreTopology` (``None`` on flat schedulers).  Topology-aware
+    #: policies read socket distances through it.
+    _bound_topology = None
 
     def __init__(self, timeslice_us: float = 50.0):
         self.timeslice_us = timeslice_us
@@ -170,14 +189,10 @@ def closest_policy_name(name: str) -> Optional[str]:
     Separator slips (``dead-line``, ``adaptive_timeslice``) are matched
     exactly after stripping ``-``/``_``; anything else falls back to a
     difflib closest-match so transpositions like ``roud_robin`` are
-    caught too.
+    caught too.  (Shared matcher: :func:`repro.runtime.qos.closest_name`
+    gives ``--slo-class`` endpoints the same suggestions.)
     """
-    canon = name.lower().replace("-", "").replace("_", "")
-    for registered in sorted(_REGISTRY):
-        if registered.replace("-", "").replace("_", "") == canon:
-            return registered
-    matches = difflib.get_close_matches(name, sorted(_REGISTRY), n=1)
-    return matches[0] if matches else None
+    return closest_name(name, _REGISTRY)
 
 
 def unknown_policy_message(name: str) -> str:
@@ -303,9 +318,16 @@ class PriorityPolicy(SchedulingPolicy):
     newcomers are probed immediately.  Directly targets the Figure-7
     fairness question: light tasks are never starved behind heavy ones
     that share their queue.
+
+    Service-class aware: a task's pick score is its observed cost
+    *divided by its class weight* (ties broken toward the heavier
+    class), so a weight-4 gold task is dequeued ahead of a weight-1
+    bronze task of equal cost.  Unclassified tasks weigh 1, which keeps
+    class-free schedules byte-identical to the pre-QoS policy.
     """
 
     name = "priority"
+    supports_service_classes = True
 
     def __init__(self, timeslice_us: float = 50.0, smoothing: float = 0.5):
         super().__init__(timeslice_us)
@@ -335,13 +357,23 @@ class PriorityPolicy(SchedulingPolicy):
             return queue.popleft()
         costs = self._mean_cost
         best_index = 0
-        best_cost = None
+        best_score = None
         for index, task in enumerate(queue):
-            cost = costs.get(task.task_id, 0.0)
-            if best_cost is None or cost < best_cost:
+            weight = _class_weight(task)
+            # Lexicographic (cost/weight, -weight): among unmeasured
+            # (cost-0) tasks only the weight discriminates, so heavier
+            # classes are probed first too.
+            score = (costs.get(task.task_id, 0.0) / weight, -weight)
+            if best_score is None or score < best_score:
                 best_index = index
-                best_cost = cost
+                best_score = score
         return _pop_at(queue, best_index)
+
+
+def _class_weight(task) -> float:
+    """The task's service-class weight (1.0 when unclassified)."""
+    service_class = getattr(task, "service_class", None)
+    return service_class.weight if service_class is not None else 1.0
 
 
 def _pop_at(queue, index: int) -> object:
@@ -368,9 +400,16 @@ class DeadlinePolicy(SchedulingPolicy):
     ``[min_budget_us, timeslice_us]`` — the nearer a task is to missing
     its SLO, the shorter (hence more frequent) its slices.  The deadline
     clock restarts on the next admission after a task drains.
+
+    Service-class aware: a classified endpoint's tasks carry their
+    class's SLO (stamped by the task graph), so one platform runs
+    per-class EDF — gold connections get 1 ms deadlines while bronze
+    ones get 50 ms — with the platform-wide ``slo_us`` (then the
+    policy default) as fallback for unclassified traffic.
     """
 
     name = "deadline"
+    supports_service_classes = True
 
     def __init__(
         self,
@@ -405,10 +444,19 @@ class DeadlinePolicy(SchedulingPolicy):
         return engine.now if engine is not None else 0.0
 
     def deadline_of(self, task) -> float:
-        """The task's absolute deadline, started at first admission."""
+        """The task's absolute deadline, started at first admission.
+
+        The SLO comes from the task itself (``task.slo_us``, stamped
+        from its endpoint's service class or the platform-wide value),
+        then its bare service class, then the policy default.
+        """
         deadline = self._deadline.get(task.task_id)
         if deadline is None:
             slo = getattr(task, "slo_us", None)
+            if slo is None:
+                service_class = getattr(task, "service_class", None)
+                if service_class is not None:
+                    slo = service_class.slo_us
             if slo is None:
                 slo = self.default_slo_us
             deadline = self._now() + slo
@@ -469,12 +517,17 @@ class NumaPolicy(SchedulingPolicy):
 
     Pairs with :class:`~repro.net.stackprofiles.CoreTopology`: the
     scheduler labels each worker with its socket and charges
-    cross-socket steals ``remote_steal_penalty_us`` extra.  This policy
-    keeps work on-socket to avoid that penalty: a task is hashed to a
-    *socket* (stable affinity) and placed on that socket's least-loaded
-    core, and idle workers steal the longest same-socket queue before
-    ever reaching across the interconnect.  Without a topology every
-    worker reports socket 0 and the policy degenerates gracefully.
+    cross-socket steals ``remote_steal_penalty_us`` extra *per
+    interconnect hop*.  This policy keeps work close to avoid those
+    penalties: a task is hashed to a *socket* (stable affinity) and
+    placed on that socket's least-loaded core, and an idle worker steals
+    *hierarchically* — the longest queue on its own socket first, then
+    the nearest non-empty socket by hop distance (read through the
+    scheduler's topology binding), widening one tier at a time, so a
+    two-hop steal on a four-socket ring happens only when both the home
+    socket and its one-hop neighbours are empty.  Without a topology
+    every socket is one hop from every other and the policy degenerates
+    to the flat local-then-anywhere order.
     """
 
     name = "numa"
@@ -516,21 +569,29 @@ class NumaPolicy(SchedulingPolicy):
         return min(members, key=lambda w: (len(w.queue), w.index))
 
     def select_victim(self, worker, workers: Sequence) -> Optional[object]:
+        topology = self._bound_topology
         home = self._socket_of(worker)
-        local = remote = None
-        local_len = remote_len = 0
+        victim = None
+        victim_len = 0
+        victim_hops = None
         for other in workers:
             if other is worker:
                 continue
             qlen = len(other.queue)
             if qlen == 0:
                 continue
-            if self._socket_of(other) == home:
-                if qlen > local_len:
-                    local, local_len = other, qlen
-            elif qlen > remote_len:
-                remote, remote_len = other, qlen
-        return local if local is not None else remote
+            socket = self._socket_of(other)
+            if topology is not None:
+                hops = topology.socket_hops(home, socket)
+            else:
+                hops = 0 if socket == home else 1
+            if (
+                victim_hops is None
+                or hops < victim_hops
+                or (hops == victim_hops and qlen > victim_len)
+            ):
+                victim, victim_len, victim_hops = other, qlen, hops
+        return victim
 
 
 @register_policy

@@ -1,0 +1,295 @@
+"""Service-class QoS model: per-endpoint SLOs and scheduling weights.
+
+The paper's runtime exists to give application-specific network services
+predictable latency, but a single platform-wide ``slo_us`` cannot say
+"gold traffic gets 1 ms, bronze gets 50 ms" on one shared middlebox.  A
+:class:`ServiceClass` names one QoS tier (an SLO in virtual µs plus a
+scheduling weight); a :class:`ServiceClassMap` assigns tiers to channel
+endpoints — optionally scoped to one program via ``"Program:endpoint"``
+keys — and is threaded ``RuntimeConfig(service_classes=...)`` →
+:class:`~repro.runtime.platform.FlickPlatform` →
+:class:`~repro.runtime.graph.TaskGraph`, which stamps every connection
+task with its endpoint's class (``task.service_class`` and
+``task.slo_us``), falling back to the platform-wide ``slo_us`` for
+unclassified endpoints.
+
+Consumers:
+
+* the ``deadline`` policy turns each class SLO into a per-class EDF
+  deadline and slack-scaled budget;
+* the ``priority`` policy divides its observed-cost score by the class
+  weight, so heavier classes are picked first at equal cost;
+* the scheduler's :class:`~repro.sim.stats.SloScoreboard` accounts
+  completions, latency and SLO misses per class, surfaced by the bench
+  report.
+
+``--slo-class endpoint=[name:]slo_us[@weight]`` on the bench CLI parses
+through :func:`parse_slo_class_specs`, which rejects malformed specs
+with near-miss suggestions in the same style as unknown policy names.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigError
+
+#: Class name used for accounting when a task carries no service class.
+DEFAULT_CLASS_NAME = "default"
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One QoS tier: a latency target and a scheduling weight.
+
+    ``slo_us`` is the per-connection service-level objective in virtual
+    µs (the EDF deadline budget); ``weight`` biases weighted policies —
+    a weight-4 class is picked ahead of a weight-1 class at equal
+    observed cost.
+    """
+
+    name: str
+    slo_us: float
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).strip():
+            raise ConfigError("service class needs a non-empty name")
+        if not isinstance(self.slo_us, (int, float)) or self.slo_us <= 0:
+            raise ConfigError(
+                f"service class {self.name!r} needs a positive SLO, "
+                f"got {self.slo_us!r}"
+            )
+        if not isinstance(self.weight, (int, float)) or self.weight <= 0:
+            raise ConfigError(
+                f"service class {self.name!r} needs a positive weight, "
+                f"got {self.weight!r}"
+            )
+
+
+def closest_name(name: str, candidates: Iterable[str]) -> Optional[str]:
+    """The candidate a typo most plausibly meant, or ``None``.
+
+    Same matching style as the policy registry's near-miss helper:
+    separator slips are matched exactly after stripping ``-``/``_``,
+    anything else falls back to difflib.
+    """
+    ordered = sorted(candidates)
+    canon = name.lower().replace("-", "").replace("_", "")
+    for candidate in ordered:
+        if candidate.lower().replace("-", "").replace("_", "") == canon:
+            return candidate
+    matches = difflib.get_close_matches(name, ordered, n=1)
+    return matches[0] if matches else None
+
+
+class ServiceClassMap:
+    """Endpoint (or ``Program:endpoint``) → :class:`ServiceClass`.
+
+    Lookups prefer the program-scoped key, so two programs sharing an
+    endpoint name (every rule graph calls its inbound endpoint
+    ``client``) can still carry different tiers on one platform.  One
+    class *name* may serve many endpoints, but only with one definition:
+    re-declaring ``gold`` with a different SLO or weight is rejected, so
+    a class means the same thing wherever it appears.
+    """
+
+    def __init__(self, classes: Optional[Dict[str, object]] = None):
+        self._by_endpoint: Dict[str, ServiceClass] = {}
+        self._by_name: Dict[str, ServiceClass] = {}
+        for endpoint, service_class in (classes or {}).items():
+            self.assign(endpoint, service_class)
+
+    def assign(self, endpoint: str, service_class) -> None:
+        """Bind ``endpoint`` to ``service_class`` (coercing shorthand).
+
+        Shorthand: a bare number is an SLO for a class named after the
+        full endpoint key (program scope included, so two programs'
+        shorthand entries never collide); a ``{"slo_us": ...,
+        "weight": ..., "name": ...}`` dict spells out the fields.
+        """
+        if not endpoint or not str(endpoint).strip():
+            raise ConfigError("service class map needs non-empty endpoints")
+        service_class = _coerce_class(endpoint, service_class)
+        if endpoint in self._by_endpoint:
+            raise ConfigError(
+                f"endpoint {endpoint!r} already has service class "
+                f"{self._by_endpoint[endpoint].name!r}; each endpoint "
+                "maps to exactly one class"
+            )
+        known = self._by_name.get(service_class.name)
+        if known is not None and known != service_class:
+            raise ConfigError(
+                f"service class {service_class.name!r} defined twice "
+                f"with different parameters: slo_us={known.slo_us}/"
+                f"weight={known.weight} vs slo_us={service_class.slo_us}/"
+                f"weight={service_class.weight}"
+            )
+        self._by_endpoint[endpoint] = service_class
+        self._by_name[service_class.name] = service_class
+
+    @classmethod
+    def from_spec(cls, spec) -> "ServiceClassMap":
+        """Normalise ``spec`` (map instance, or dict of shorthands)."""
+        if isinstance(spec, ServiceClassMap):
+            return spec
+        if isinstance(spec, dict):
+            return cls(spec)
+        raise ConfigError(
+            "service_classes must be a ServiceClassMap or a dict of "
+            f"endpoint -> class, got {type(spec).__name__}"
+        )
+
+    def class_for(
+        self, endpoint: Optional[str], program: Optional[str] = None
+    ) -> Optional[ServiceClass]:
+        """The class bound to ``endpoint``, preferring a program-scoped
+        ``"Program:endpoint"`` entry; ``None`` when unclassified."""
+        if endpoint is None:
+            return None
+        if program is not None:
+            scoped = self._by_endpoint.get(f"{program}:{endpoint}")
+            if scoped is not None:
+                return scoped
+        return self._by_endpoint.get(endpoint)
+
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(self._by_endpoint)
+
+    def classes(self) -> Tuple[ServiceClass, ...]:
+        """The distinct classes, in first-assignment order."""
+        return tuple(self._by_name.values())
+
+    def __iter__(self) -> Iterator[Tuple[str, ServiceClass]]:
+        return iter(self._by_endpoint.items())
+
+    def __len__(self) -> int:
+        return len(self._by_endpoint)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_endpoint)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ServiceClassMap):
+            return NotImplemented
+        return self._by_endpoint == other._by_endpoint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(
+            f"{ep}={sc.name}:{sc.slo_us:g}@{sc.weight:g}"
+            for ep, sc in self._by_endpoint.items()
+        )
+        return f"<ServiceClassMap {entries}>"
+
+
+def _coerce_class(endpoint: str, value) -> ServiceClass:
+    if isinstance(value, ServiceClass):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return ServiceClass(name=endpoint, slo_us=float(value))
+    if isinstance(value, dict):
+        unknown = set(value) - {"name", "slo_us", "weight"}
+        if unknown:
+            raise ConfigError(
+                f"service class for {endpoint!r} has unknown fields "
+                f"{sorted(unknown)}; allowed: name, slo_us, weight"
+            )
+        if "slo_us" not in value:
+            raise ConfigError(
+                f"service class for {endpoint!r} needs an 'slo_us' field"
+            )
+        return ServiceClass(
+            name=value.get("name", endpoint),
+            slo_us=value["slo_us"],
+            weight=value.get("weight", 1.0),
+        )
+    raise ConfigError(
+        f"service class for {endpoint!r} must be a ServiceClass, a "
+        f"number (SLO µs), or a dict, got {type(value).__name__}"
+    )
+
+
+# -- CLI spec parsing ---------------------------------------------------------
+
+
+def parse_slo_class(
+    spec: str, valid_endpoints: Optional[Sequence[str]] = None
+) -> Tuple[str, ServiceClass]:
+    """Parse one ``endpoint=[name:]slo_us[@weight]`` CLI spec.
+
+    ``gold=1000`` binds endpoint ``gold`` to a 1000 µs class named after
+    it; ``client=gold:1000@4`` names the class explicitly and gives it
+    weight 4.  ``valid_endpoints``, when given, rejects unknown
+    endpoints with a near-miss suggestion.
+    """
+    if "=" not in spec:
+        raise ConfigError(
+            f"malformed --slo-class {spec!r}; expected "
+            "endpoint=[name:]slo_us[@weight] (e.g. gold=1000 or "
+            "client=gold:1000@4)"
+        )
+    endpoint, _, rest = spec.partition("=")
+    endpoint = endpoint.strip()
+    if not endpoint:
+        raise ConfigError(
+            f"malformed --slo-class {spec!r}: empty endpoint name"
+        )
+    if valid_endpoints is not None and endpoint not in valid_endpoints:
+        message = (
+            f"unknown endpoint {endpoint!r} in --slo-class {spec!r}; "
+            f"valid endpoints: {', '.join(sorted(valid_endpoints))}"
+        )
+        suggestion = closest_name(endpoint, valid_endpoints)
+        if suggestion is not None:
+            message += f"; did you mean {suggestion!r}?"
+        raise ConfigError(message)
+    rest, _, weight_text = rest.partition("@")
+    name, sep, slo_text = rest.partition(":")
+    if not sep:
+        name, slo_text = endpoint, rest
+    name = name.strip()
+    try:
+        slo_us = float(slo_text)
+    except ValueError:
+        raise ConfigError(
+            f"malformed --slo-class {spec!r}: SLO {slo_text.strip()!r} "
+            "is not a number of µs"
+        ) from None
+    if slo_us <= 0:
+        raise ConfigError(
+            f"malformed --slo-class {spec!r}: SLO must be a positive "
+            f"number of µs, got {slo_us:g}"
+        )
+    weight = 1.0
+    if weight_text:
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ConfigError(
+                f"malformed --slo-class {spec!r}: weight "
+                f"{weight_text.strip()!r} is not a number"
+            ) from None
+        if weight <= 0:
+            raise ConfigError(
+                f"malformed --slo-class {spec!r}: weight must be "
+                f"positive, got {weight:g}"
+            )
+    return endpoint, ServiceClass(name=name, slo_us=slo_us, weight=weight)
+
+
+def parse_slo_class_specs(
+    specs: Sequence[str], valid_endpoints: Optional[Sequence[str]] = None
+) -> ServiceClassMap:
+    """Parse repeated ``--slo-class`` flags into a validated map.
+
+    Duplicate endpoints and conflicting re-definitions of one class name
+    are rejected by :class:`ServiceClassMap` with the same clear-error
+    style as malformed individual specs.
+    """
+    class_map = ServiceClassMap()
+    for spec in specs:
+        endpoint, service_class = parse_slo_class(spec, valid_endpoints)
+        class_map.assign(endpoint, service_class)
+    return class_map

@@ -17,8 +17,9 @@ Mechanism invariants, independent of policy:
   task id, as in the paper.
 * An idle worker asks the policy for a steal victim, then sleeps until
   new work arrives; every steal is charged ``STEAL_US`` (plus the
-  topology's cross-socket penalty when thief and victim live on
-  different sockets) and every scheduling decision ``SCHEDULE_US``.  A
+  topology's per-hop penalty times the socket distance between thief
+  and victim) and every scheduling decision ``SCHEDULE_US``, and is
+  appended to :attr:`Scheduler.steal_log` for post-hoc analysis.  A
   policy may batch a steal (``steal_count``): the thief runs the first
   stolen task and moves the rest to its own queue, paying the steal
   cost once for the whole batch.
@@ -36,17 +37,44 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Deque, Optional
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
 
 from repro.core.errors import RuntimeFlickError
 from repro.runtime.costs import SCHEDULE_US, STEAL_US
 from repro.runtime.policy import resolve_policy
 from repro.sim.engine import Engine, Event
+from repro.sim.stats import SloScoreboard
 
 # Task scheduling states.
 IDLE = 0
 QUEUED = 1
 RUNNING = 2
+
+
+@dataclass(frozen=True)
+class StealRecord:
+    """One steal operation, as the mechanism performed and priced it.
+
+    ``queue_lens`` snapshots every worker's queue length at the moment
+    the policy chose the victim (before any task moved), so tests can
+    reconstruct what the thief could see — e.g. that a hierarchical
+    policy really stole from the nearest non-empty socket.  It is
+    captured only on topological schedulers (empty tuple on flat ones),
+    keeping the flat steal path free of the O(cores) walk.  ``hops`` is
+    the socket distance the steal crossed (0 on-socket) and ``cost_us``
+    the full charge: ``STEAL_US`` plus ``hops`` x the topology's per-hop
+    penalty.
+    """
+
+    thief: int
+    victim: int
+    thief_socket: int
+    victim_socket: int
+    tasks: int
+    hops: int
+    cost_us: float
+    queue_lens: Tuple[int, ...]
 
 
 class _Worker:
@@ -129,6 +157,10 @@ class Scheduler:
                 "policy name"
             )
         self.policy._bound_engine = engine
+        # Topology-aware policies (numa's hierarchical stealing) read
+        # socket distances through this binding; flat schedulers bind
+        # None and the policies degenerate to 0/1 socket distances.
+        self.policy._bound_topology = topology
         self.policy.reset()  # a reused instance must not carry over state
         self.policy_name = self.policy.name
         # Bound policy hooks, cached once: these run on every scheduling
@@ -143,6 +175,10 @@ class Scheduler:
         ]
         self._started = False
         self.tasks_executed = 0
+        #: One :class:`StealRecord` per steal operation, in order.
+        self.steal_log: list = []
+        #: Per-service-class completion/latency/SLO-miss accounting.
+        self.scoreboard = SloScoreboard()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -190,6 +226,11 @@ class Scheduler:
         if task.sched_state == RUNNING:
             task.pending_wakeup = True
             return
+        if task.admitted_at is None:
+            # The SLO clock starts here and runs until the task drains
+            # (one scoreboard "busy period"), mirroring the deadline
+            # policy's admission-to-drain EDF clock.
+            task.admitted_at = self.engine.now
         task.sched_state = QUEUED
         worker = self.home_worker(task)
         worker.queue.append(task)
@@ -248,6 +289,26 @@ class Scheduler:
             if task.has_work() or task.pending_wakeup:
                 task.pending_wakeup = False
                 notify_runnable(task)
+            else:
+                self._record_completion(task)
+
+    def _record_completion(self, task) -> None:
+        """A task drained: close its busy period on the scoreboard."""
+        admitted = task.admitted_at
+        if admitted is None:
+            return
+        task.admitted_at = None
+        service_class = task.service_class
+        self.scoreboard.record(
+            task_id=task.task_id,
+            task=task.name,
+            service_class=(
+                service_class.name if service_class is not None else "default"
+            ),
+            admitted_us=admitted,
+            completed_us=self.engine.now,
+            slo_us=getattr(task, "slo_us", None),
+        )
 
     def _next_task(self, worker: _Worker):
         """Next task for ``worker`` plus the steal cost it incurred (µs)."""
@@ -255,6 +316,17 @@ class Scheduler:
             return self._next_local(worker), 0.0
         victim = self._select_victim(worker, self._workers)
         if victim is not None and victim.queue:
+            topology = self.topology
+            # Snapshot before any task moves: the steal log must show
+            # what the policy's victim choice was made against.  The
+            # O(cores) walk is only paid on topological schedulers,
+            # where steal distance is a property worth reconstructing;
+            # flat schedulers log the steal with an empty snapshot.
+            queue_lens = (
+                tuple(len(w.queue) for w in self._workers)
+                if topology is not None
+                else ()
+            )
             count = max(
                 1, min(int(self._steal_count(worker, victim)),
                        len(victim.queue))
@@ -266,12 +338,25 @@ class Scheduler:
             for _ in range(count - 1):
                 worker.queue.append(victim.queue.popleft())
             cost = STEAL_US
-            topology = self.topology
+            hops = 0
             if topology is not None and worker.socket != victim.socket:
-                cost += topology.remote_steal_penalty_us
+                hops = topology.socket_hops(worker.socket, victim.socket)
+                cost += hops * topology.remote_steal_penalty_us
             worker.steals += 1
             worker.stolen_tasks += count
             worker.steal_us += cost
+            self.steal_log.append(
+                StealRecord(
+                    thief=worker.index,
+                    victim=victim.index,
+                    thief_socket=worker.socket,
+                    victim_socket=victim.socket,
+                    tasks=count,
+                    hops=hops,
+                    cost_us=cost,
+                    queue_lens=queue_lens,
+                )
+            )
             return task, cost
         return None, 0.0
 
@@ -292,6 +377,15 @@ class TaskBase:
 
     #: Optional worker-index pin honoured by the default placement policy.
     home_hint: Optional[int] = None
+
+    #: Service class (a :class:`~repro.runtime.qos.ServiceClass`) the
+    #: task graph stamped on this task; ``None`` = unclassified, pooled
+    #: under the scoreboard's "default" class.
+    service_class = None
+
+    #: When the current busy period was admitted (scheduler-maintained;
+    #: ``None`` while drained).  Feeds the SLO scoreboard.
+    admitted_at: Optional[float] = None
 
     def __init__(self, name: str):
         self.name = name

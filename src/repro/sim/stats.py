@@ -1,15 +1,17 @@
 """Measurement helpers for simulated experiments.
 
 :class:`LatencySeries` collects per-request latencies; :class:`Meter`
-counts events over the run.  Both convert virtual-µs durations into the
-units the paper's figures use (thousand requests/s, ms, Mb/s).
+counts events over the run; :class:`SloScoreboard` accounts task
+completions, latency and SLO misses per service class.  All convert
+virtual-µs durations into the units the paper's figures use (thousand
+requests/s, ms, Mb/s).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.units import millis, rate_per_second, throughput_mbps
 
@@ -89,6 +91,122 @@ class Meter:
 
     def mbps(self) -> float:
         return throughput_mbps(self.bytes, self.duration_us)
+
+
+@dataclass(frozen=True)
+class SloRecord:
+    """One accounted busy period of a task: admission to drain.
+
+    ``slo_us`` is the latency target the task carried (its service
+    class's SLO, or the platform-wide one); ``None`` means the task was
+    unclassified and cannot miss.
+    """
+
+    task_id: int
+    task: str
+    service_class: str
+    admitted_us: float
+    completed_us: float
+    slo_us: Optional[float] = None
+
+    @property
+    def latency_us(self) -> float:
+        return self.completed_us - self.admitted_us
+
+    @property
+    def deadline_us(self) -> Optional[float]:
+        """Absolute deadline: admission + SLO (``None`` without one)."""
+        if self.slo_us is None:
+            return None
+        return self.admitted_us + self.slo_us
+
+    @property
+    def missed(self) -> bool:
+        deadline = self.deadline_us
+        return deadline is not None and self.completed_us > deadline
+
+
+class SloScoreboard:
+    """Per-service-class completion, latency and SLO-miss accounting.
+
+    The scheduling mechanism records one entry per task *busy period*
+    (admission to drain, matching the 'deadline' policy's SLO clock);
+    classes are the :class:`~repro.runtime.qos.ServiceClass` names
+    stamped by the task graph, with unclassified tasks pooled under
+    ``"default"``.  Aggregates are maintained incrementally; the raw
+    :attr:`records` keep the full log for property tests and reports.
+    """
+
+    def __init__(self):
+        self.records: List[SloRecord] = []
+        self._completions: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        self._latency: Dict[str, LatencySeries] = {}
+
+    def record(
+        self,
+        task_id: int,
+        task: str,
+        service_class: str,
+        admitted_us: float,
+        completed_us: float,
+        slo_us: Optional[float] = None,
+    ) -> SloRecord:
+        if completed_us < admitted_us:
+            raise ValueError(
+                f"task {task!r} completed at {completed_us} before its "
+                f"admission at {admitted_us}"
+            )
+        entry = SloRecord(
+            task_id=task_id,
+            task=task,
+            service_class=service_class,
+            admitted_us=admitted_us,
+            completed_us=completed_us,
+            slo_us=slo_us,
+        )
+        self.records.append(entry)
+        self._completions[service_class] = (
+            self._completions.get(service_class, 0) + 1
+        )
+        if entry.missed:
+            self._misses[service_class] = (
+                self._misses.get(service_class, 0) + 1
+            )
+        self._latency.setdefault(service_class, LatencySeries()).record(
+            entry.latency_us
+        )
+        return entry
+
+    @property
+    def total_completions(self) -> int:
+        return len(self.records)
+
+    def completions_by_class(self) -> Dict[str, int]:
+        return dict(self._completions)
+
+    def misses_by_class(self) -> Dict[str, int]:
+        """SLO misses per class (classes with none recorded report 0)."""
+        return {
+            name: self._misses.get(name, 0) for name in self._completions
+        }
+
+    def latency_by_class(self) -> Dict[str, LatencySeries]:
+        return dict(self._latency)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-class aggregate dict (plain numbers, safe to pin golden)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name in self._completions:
+            latency = self._latency[name]
+            report[name] = {
+                "completions": self._completions[name],
+                "misses": self._misses.get(name, 0),
+                "mean_ms": latency.mean_ms(),
+                "p99_ms": millis(latency.percentile_us(99.0)),
+                "max_ms": millis(latency.max_us()),
+            }
+        return report
 
 
 @dataclass

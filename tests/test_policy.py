@@ -32,6 +32,7 @@ from repro.runtime.policy import (
     registered_policies,
     resolve_policy,
 )
+from repro.runtime.qos import ServiceClass
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.sim.engine import Engine
 
@@ -113,6 +114,70 @@ GOLDEN = {
         "light_max_ms": 3.102192000000002,
         "heavy_max_ms": 21.054784000000012,
         "makespan_ms": 21.054784000000012,
+    },
+}
+
+
+#: Class-aware golden numbers: the same 60x80x8 Figure-7 workload under
+#: a two-class map (gold=1ms@4 on light, bronze=50ms@1 on heavy).  Every
+#: policy that declares ``supports_service_classes`` must pin an entry —
+#: the lockstep gate below — so QoS-consuming policies cannot drift
+#: silently any more than class-free ones can.
+TWO_CLASS_MAP = {
+    "light": ServiceClass("gold", 1_000.0, weight=4.0),
+    "heavy": ServiceClass("bronze", 50_000.0),
+}
+
+GOLDEN_TWO_CLASS = {
+    "deadline": {
+        "fields": {
+            "light_mean_ms": 1.2269600000000034,
+            "heavy_mean_ms": 19.54862959999998,
+            "light_max_ms": 1.334320000000004,
+            "heavy_max_ms": 21.187356000000047,
+            "makespan_ms": 21.187356000000047,
+        },
+        "classes": {
+            "gold": {
+                "completions": 30,
+                "misses": 24,
+                "mean_ms": 1.2269600000000032,
+                "p99_ms": 1.334320000000004,
+                "max_ms": 1.334320000000004,
+            },
+            "bronze": {
+                "completions": 30,
+                "misses": 0,
+                "mean_ms": 19.548629599999984,
+                "p99_ms": 21.17580356000003,
+                "max_ms": 21.187356000000047,
+            },
+        },
+    },
+    "priority": {
+        "fields": {
+            "light_mean_ms": 1.4943519999999992,
+            "heavy_mean_ms": 19.77924613333334,
+            "light_max_ms": 1.585664,
+            "heavy_max_ms": 21.054784000000012,
+            "makespan_ms": 21.054784000000012,
+        },
+        "classes": {
+            "gold": {
+                "completions": 30,
+                "misses": 30,
+                "mean_ms": 1.4943519999999992,
+                "p99_ms": 1.585664,
+                "max_ms": 1.585664,
+            },
+            "bronze": {
+                "completions": 30,
+                "misses": 0,
+                "mean_ms": 19.779246133333338,
+                "p99_ms": 21.054784000000012,
+                "max_ms": 21.054784000000012,
+            },
+        },
     },
 }
 
@@ -275,6 +340,41 @@ class TestGoldenParity:
         golden table and the registry must stay in lockstep, so future
         policies cannot dodge regression coverage."""
         assert set(GOLDEN) == set(registered_policies())
+
+    @pytest.mark.parametrize("policy", sorted(GOLDEN_TWO_CLASS))
+    def test_two_class_figure7_parity(self, policy):
+        """Class-aware policies reproduce their pinned two-class numbers
+        — aggregates and per-class completions/misses/latency alike."""
+        result = run_scheduling_experiment(
+            policy, n_tasks=60, items_per_task=80, cores=8,
+            service_classes=TWO_CLASS_MAP,
+        )
+        golden = GOLDEN_TWO_CLASS[policy]
+        for field, want in golden["fields"].items():
+            got = getattr(result, field)
+            assert got == pytest.approx(want, rel=0, abs=1e-9), (
+                f"{policy}.{field}: {got!r} != golden {want!r}"
+            )
+        assert set(result.class_stats) == set(golden["classes"])
+        for class_name, stats in golden["classes"].items():
+            for field, want in stats.items():
+                got = result.class_stats[class_name][field]
+                assert got == pytest.approx(want, rel=0, abs=1e-9), (
+                    f"{policy}.{class_name}.{field}: "
+                    f"{got!r} != golden {want!r}"
+                )
+
+    def test_class_aware_policies_have_two_class_goldens(self):
+        """Lockstep gate, extended: a policy that declares
+        ``supports_service_classes`` without pinning two-class goldens
+        (or vice versa) is a CI failure, exactly like registering a
+        policy without a plain golden entry."""
+        declared = {
+            name
+            for name in registered_policies()
+            if make_policy(name).supports_service_classes
+        }
+        assert declared == set(GOLDEN_TWO_CLASS)
 
     def test_parity_stable_across_repeats(self):
         first = run_scheduling_experiment(

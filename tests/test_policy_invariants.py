@@ -17,11 +17,15 @@ regression coverage the moment it is registered:
 * **determinism** — identical seeds produce identical schedules;
 * **reusability** — ``reset()`` (fired when a scheduler adopts the
   policy) restores a used instance to a state indistinguishable from a
-  fresh one.
+  fresh one;
+* **SLO outcomes** — the scheduler's per-service-class scoreboard is
+  conserved (class completion counts sum to the total), coherent (no
+  recorded deadline precedes its admission), and seed-deterministic
+  (identical seeds produce identical per-class SLO-miss counts).
 
-Workloads mix item counts, per-item costs, SLOs, pinned and hash-placed
-tasks, and staggered arrival times, so the sleep/wake and steal paths
-are all exercised.
+Workloads mix item counts, per-item costs, SLOs, service classes,
+pinned and hash-placed tasks, and staggered arrival times, so the
+sleep/wake and steal paths are all exercised.
 """
 
 import random
@@ -31,6 +35,7 @@ import pytest
 from repro.net.stackprofiles import CoreTopology
 from repro.runtime.costs import SCHEDULE_US
 from repro.runtime.policy import make_policy, registered_policies
+from repro.runtime.qos import ServiceClass
 from repro.runtime.scheduler import IDLE, Scheduler, TaskBase
 from repro.sim.engine import Engine
 
@@ -41,6 +46,14 @@ N_TASKS = 24
 #: 4 cores across 2 sockets, so steals can cross the interconnect.
 PAIR_TOPOLOGY = CoreTopology(
     name="pair", sockets=2, cores_per_socket=2, remote_steal_penalty_us=2.0
+)
+
+#: QoS tiers randomly stamped on workload tasks (None = unclassified).
+SERVICE_CLASSES = (
+    None,
+    ServiceClass("gold", slo_us=800.0, weight=4.0),
+    ServiceClass("silver", slo_us=5_000.0, weight=2.0),
+    ServiceClass("bronze", slo_us=50_000.0),
 )
 
 
@@ -119,6 +132,10 @@ def run_workload(policy, seed, topology=None):
             engine,
             slo_us=rng.choice((None, 50.0, 500.0, 5000.0)),
         )
+        service_class = rng.choice(SERVICE_CLASSES)
+        if service_class is not None:
+            task.service_class = service_class
+            task.slo_us = service_class.slo_us
         if rng.random() < 0.5:
             task.home_hint = rng.randrange(CORES)
         tasks.append(task)
@@ -151,6 +168,8 @@ def snapshot(scheduler, tasks):
         "busy_us": scheduler.total_busy_us,
         "steals": scheduler.total_steals,
         "stolen_tasks": scheduler.total_stolen_tasks,
+        "slo_completions": scheduler.scoreboard.completions_by_class(),
+        "slo_misses": scheduler.scoreboard.misses_by_class(),
     }
 
 
@@ -222,6 +241,55 @@ class TestPolicyInvariants:
         # second run must be indistinguishable from the first.
         reused = snapshot(*run_workload(policy, seed))
         assert used == reused
+
+    def test_slo_completions_sum_to_total(self, name, seed):
+        """Scoreboard conservation: per-class completion counts sum to
+        the total, and every admitted task is accounted exactly once
+        (this workload admits each task a single time)."""
+        scheduler, tasks = run_workload(make_policy(name), seed)
+        scoreboard = scheduler.scoreboard
+        by_class = scoreboard.completions_by_class()
+        assert sum(by_class.values()) == scoreboard.total_completions
+        assert scoreboard.total_completions == len(scoreboard.records)
+        recorded_ids = sorted(r.task_id for r in scoreboard.records)
+        assert recorded_ids == sorted(t.task_id for t in tasks)
+        # The class breakdown mirrors what was stamped on the tasks.
+        expected = {}
+        for task in tasks:
+            cls = task.service_class.name if task.service_class else "default"
+            expected[cls] = expected.get(cls, 0) + 1
+        assert by_class == expected
+
+    def test_slo_deadline_never_precedes_admission(self, name, seed):
+        """Scoreboard coherence: every record's completion and deadline
+        sit at or after its admission, and classified records carry
+        their class's SLO."""
+        scheduler, tasks = run_workload(make_policy(name), seed)
+        classes = {t.task_id: t.service_class for t in tasks}
+        for record in scheduler.scoreboard.records:
+            assert record.completed_us >= record.admitted_us
+            assert record.latency_us >= 0.0
+            deadline = record.deadline_us
+            if deadline is not None:
+                assert deadline >= record.admitted_us
+                assert record.missed == (record.completed_us > deadline)
+            service_class = classes[record.task_id]
+            if service_class is not None:
+                assert record.service_class == service_class.name
+                assert record.slo_us == service_class.slo_us
+
+    def test_slo_miss_counts_are_seed_deterministic(self, name, seed):
+        """Identical seeds must yield identical per-class SLO misses."""
+        first, _ = run_workload(make_policy(name), seed)
+        second, _ = run_workload(make_policy(name), seed)
+        assert (
+            first.scoreboard.misses_by_class()
+            == second.scoreboard.misses_by_class()
+        )
+        assert (
+            first.scoreboard.completions_by_class()
+            == second.scoreboard.completions_by_class()
+        )
 
 
 def test_harness_covers_whole_registry():
