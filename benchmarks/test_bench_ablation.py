@@ -10,7 +10,6 @@
   fields beats the full-grammar parser on proxy throughput.
 """
 
-import pytest
 
 from benchmarks.conftest import print_series, run_once
 from repro.bench.scheduling import run_scheduling_experiment

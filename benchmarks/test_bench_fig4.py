@@ -8,7 +8,6 @@ kernel-FLICK *below* Nginx non-persistent (no pooled backend connections)
 while FLICK+mTCP dominates everything; FLICK latency lowest.
 """
 
-import pytest
 
 from benchmarks.conftest import print_series, run_once
 from repro.bench.testbeds import run_http_experiment

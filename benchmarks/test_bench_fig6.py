@@ -10,7 +10,6 @@ absolute Mbps are smaller; asserted shapes: monotone scaling 1->8 cores,
 saturation 8->16, and the word-length ordering at low core counts.
 """
 
-import pytest
 
 from benchmarks.conftest import print_series, run_once
 from repro.bench.testbeds import run_hadoop_experiment

@@ -13,6 +13,10 @@ from repro.lang.compiler import CompiledProgram, compile_source
 from repro.net.simnet import Host
 from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget
 
+#: The inbound endpoint name (the mapper array) — what a
+#: ``service_classes`` spec binds a QoS tier to.
+CLIENT_ENDPOINT = "mappers"
+
 HADOOP_SOURCE = """
 type kv: record
     key : string

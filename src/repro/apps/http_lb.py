@@ -24,6 +24,10 @@ from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget
 #: §6.3: "small HTTP payloads (137 bytes each)").
 STATIC_BODY = (b"FLICK static response. " * 6)[:137]
 
+#: The inbound endpoint name both programs expose — what a
+#: ``service_classes`` spec binds a QoS tier to.
+CLIENT_ENDPOINT = "client"
+
 HTTP_LB_SOURCE = """
 type http_req: record
     method : string

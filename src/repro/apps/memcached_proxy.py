@@ -22,6 +22,10 @@ from repro.grammar.protocols import memcached as mc
 from repro.lang.compiler import CompiledProgram, compile_source
 from repro.runtime.graph import Bindings, CodecRegistry, OutboundTarget
 
+#: The inbound endpoint name both proxy programs expose — what a
+#: ``service_classes`` spec binds a QoS tier to.
+CLIENT_ENDPOINT = "client"
+
 PROXY_SOURCE = """
 type cmd: record
     opcode : integer {size=1}

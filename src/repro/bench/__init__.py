@@ -1,1 +1,5 @@
-"""Benchmark harness: testbeds and experiments for every paper figure."""
+"""Benchmark harness: testbeds and experiments for every paper figure —
+plus the declarative scenario matrix (:mod:`~repro.bench.scenarios`)
+and its machine-readable, baseline-gated output
+(:mod:`~repro.bench.results`).  See :mod:`repro.bench.cli` for the
+command-line surface."""

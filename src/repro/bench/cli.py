@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any figure from the paper.
+"""Command-line entry point: regenerate any figure from the paper —
+plus the scenario matrix the paper's testbed could not run.
 
 Usage::
 
@@ -11,7 +12,20 @@ Usage::
     python -m repro.bench fig7 --policy all --topology four-socket
     python -m repro.bench fig7 --policy deadline \\
         --slo-class light=gold:1000@4 --slo-class heavy=bronze:50000
+    python -m repro.bench scenarios   # declarative matrix -> BENCH_scenarios.json
+    python -m repro.bench scenarios --scenario http-overload-open
+    python -m repro.bench scenarios --quick \\
+        --baseline benchmarks/baseline_scenarios.json   # CI perf gate
     python -m repro.bench all --quick # everything, reduced sizes
+
+``scenarios`` crosses apps with open-loop arrival processes
+(:mod:`repro.workloads.arrivals`: poisson, bursty MMPP, ramp, replay),
+scheduling policies, topologies and service classes
+(:mod:`repro.bench.scenarios`), prints a summary table, and always
+writes the machine-readable, schema-versioned ``BENCH_scenarios.json``
+(:mod:`repro.bench.results`).  With ``--baseline``, the run is compared
+against a committed document and exits 1 on a >10% throughput drop or a
+>15% p99 latency rise — the CI perf-regression gate.
 """
 
 from __future__ import annotations
@@ -21,12 +35,18 @@ import sys
 from typing import List
 
 from repro.core.errors import ConfigError, RuntimeFlickError
+from repro.bench import results as results_io
 from repro.bench.report import (
     format_policy_table,
+    format_scenario_table,
     format_series_chart,
     format_service_class_table,
     results_to_series,
     summarize,
+)
+from repro.bench.scenarios import (
+    resolve_scenario_selection,
+    run_scenario_matrix,
 )
 from repro.bench.scheduling import (
     ENDPOINTS,
@@ -164,12 +184,71 @@ def _service_classes(args):
     return parse_slo_class_specs(args.slo_class, valid_endpoints=ENDPOINTS)
 
 
+def _scenario_output_path(args) -> str:
+    """Where the scenarios document goes when ``--output`` is omitted.
+
+    Only a full-matrix, full-size run writes the committed trajectory
+    file ``BENCH_scenarios.json``; quick or filtered runs default to
+    ``BENCH_scenarios.quick.json`` so the documented CI-gate command
+    cannot silently clobber the repo's full-size trajectory point.
+    """
+    if args.output is not None:
+        return args.output
+    if args.quick or args.scenario != "all":
+        return "BENCH_scenarios.quick.json"
+    return "BENCH_scenarios.json"
+
+
+def _scenarios(args) -> int:
+    """Run the scenario matrix; write JSON; optionally gate on a baseline."""
+    selected = resolve_scenario_selection(args.scenario)
+    print(
+        f"== Scenario matrix ({len(selected)} scenarios"
+        f"{', quick' if args.quick else ''}) =="
+    )
+    results = run_scenario_matrix(selected, quick=args.quick)
+    print(format_scenario_table(results))
+    document = results_io.results_document(results, quick=args.quick)
+    path = results_io.write_results(_scenario_output_path(args), document)
+    print(f"\nwrote {path}")
+    if args.baseline is None:
+        return 0
+    baseline = results_io.load_results(args.baseline)
+    if bool(baseline.get("quick")) != bool(args.quick):
+        raise ConfigError(
+            f"baseline {args.baseline} was generated with "
+            f"quick={baseline.get('quick')}, this run with "
+            f"quick={args.quick}; perf comparisons must be like-for-like"
+        )
+    regressions = results_io.compare_to_baseline(
+        document,
+        baseline,
+        # A filtered run deliberately omits the rest of the matrix; only
+        # a full run vouches for coverage.
+        restrict_to=(
+            None
+            if args.scenario == "all"
+            else [scenario.name for scenario in selected]
+        ),
+    )
+    if regressions:
+        print(
+            f"\nPERF REGRESSION against {args.baseline}:", file=sys.stderr
+        )
+        for regression in regressions:
+            print(f"  - {regression}", file=sys.stderr)
+        return 1
+    print(f"no perf regressions against {args.baseline}")
+    return 0
+
+
 _TARGETS = {
     "e1": _e1,
     "fig4": _fig4,
     "fig5": _fig5,
     "fig6": _fig6,
     "fig7": _fig7,
+    "scenarios": _scenarios,
 }
 
 
@@ -216,25 +295,55 @@ def main(argv: List[str] = None) -> int:
         "--slo-class heavy=bronze:50000. Classified tasks carry the "
         "class SLO/weight and the sweep reports per-class SLO misses.",
     )
+    parser.add_argument(
+        "--scenario",
+        default="all",
+        metavar="NAME[,NAME...]",
+        help="scenarios only: which matrix entries to run ('all' or a "
+        "comma-separated list of scenario names; typos get a near-miss "
+        "suggestion).",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="scenarios only: where the machine-readable JSON document "
+        "is written. Default: BENCH_scenarios.json for a full-matrix "
+        "full-size run, BENCH_scenarios.quick.json for --quick or "
+        "--scenario-filtered runs (so the committed trajectory file is "
+        "never clobbered by a smoke run).",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="scenarios only: compare the run against a committed "
+        "results document and exit 1 on a perf regression (>"
+        f"{results_io.MAX_THROUGHPUT_DROP_PCT:g}%% throughput drop or >"
+        f"{results_io.MAX_P99_RISE_PCT:g}%% p99 rise).",
+    )
     args = parser.parse_args(argv)
     try:
-        # Reject --policy / --slo-class typos up front, before any
-        # (expensive) target runs — not only when the loop eventually
-        # reaches fig7.
+        # Reject --policy / --slo-class / --scenario typos up front,
+        # before any (expensive) target runs — not only when the loop
+        # eventually reaches the target that consumes the flag.
         resolve_policy_selection(args.policy)
         _service_classes(args)
+        resolve_scenario_selection(args.scenario)
     except (RuntimeFlickError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+    exit_code = 0
     for name in targets:
         try:
-            _TARGETS[name](args)
+            code = _TARGETS[name](args)
         except (RuntimeFlickError, ConfigError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        exit_code = exit_code or (code or 0)
         print()
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -130,6 +130,42 @@ def format_service_class_table(results) -> str:
     )
 
 
+def format_scenario_table(results: Dict[str, dict]) -> str:
+    """One row per scenario of the matrix runner's JSON-ready results."""
+    rows = []
+    for name, entry in results.items():
+        latency = entry.get("latency_ms", {})
+        slo = entry.get("slo", {})
+        rows.append(
+            (
+                name,
+                entry.get("arrival", "?"),
+                entry.get("policy", "?"),
+                f"{entry.get('throughput', 0.0):.1f}"
+                f" {entry.get('throughput_unit', '')}".rstrip(),
+                f"{latency.get('p50', 0.0):.3f}",
+                f"{latency.get('p99', 0.0):.3f}",
+                slo.get("misses", 0),
+                entry.get("steals", {}).get("steals", 0),
+            )
+        )
+    if not rows:
+        return "(no scenarios selected)"
+    return format_table(
+        (
+            "scenario",
+            "arrival",
+            "policy",
+            "throughput",
+            "p50_ms",
+            "p99_ms",
+            "slo_misses",
+            "steals",
+        ),
+        rows,
+    )
+
+
 def results_to_series(
     results: Dict[str, List[RunResult]], field: str = "throughput"
 ) -> Dict[str, List[float]]:

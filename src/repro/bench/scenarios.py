@@ -1,0 +1,396 @@
+"""Declarative scenario matrix: app x arrival process x policy x topology.
+
+A :class:`Scenario` is a named tuple describing one end-to-end run —
+which app (``http_lb`` / ``memcached_proxy`` / ``hadoop_agg``), which
+arrival process (a :mod:`repro.workloads.arrivals` registry name, or
+``None`` for the paper's closed-loop clients), which scheduling policy,
+core topology, service classes and core count.  :data:`SCENARIOS` is the
+built-in matrix; ``python -m repro.bench scenarios`` runs it (or a
+``--scenario`` filter) on the existing testbeds and emits the
+machine-readable ``BENCH_scenarios.json`` through
+:mod:`repro.bench.results`.
+
+The matrix deliberately pairs ``http-overload-open`` with
+``http-overload-closed``: the same middlebox, connection pool, SLO and
+request volume, once driven open-loop past saturation and once by
+self-throttling closed-loop clients.  The open-loop run accumulates
+queueing latency and misses its SLO; the closed-loop run never does —
+the blind spot of ApacheBench-style evaluation, now a pinned number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Sequence, Tuple
+
+from repro.apps import hadoop_agg, http_lb, memcached_proxy
+from repro.core.errors import ConfigError
+from repro.bench.testbeds import (
+    run_hadoop_experiment,
+    run_http_experiment,
+    run_memcached_experiment,
+)
+from repro.runtime.qos import closest_name, parse_slo_class_specs
+from repro.runtime.scheduler import TaskBase
+from repro.workloads.arrivals import make_arrival
+
+#: Apps a scenario can target, and the endpoint names their programs
+#: expose to ``service_classes`` specs.
+APP_ENDPOINTS: Dict[str, Tuple[str, ...]] = {
+    "http_lb": (http_lb.CLIENT_ENDPOINT,),
+    "memcached_proxy": (memcached_proxy.CLIENT_ENDPOINT,),
+    "hadoop_agg": (hadoop_agg.CLIENT_ENDPOINT,),
+}
+
+
+class Scenario(NamedTuple):
+    """One declarative entry of the matrix (all fields hashable)."""
+
+    name: str
+    app: str
+    #: Registered arrival-process name, or ``None`` for closed-loop.
+    arrival: Optional[str]
+    #: Parameters for :func:`~repro.workloads.arrivals.make_arrival`.
+    arrival_params: Tuple[Tuple[str, object], ...] = ()
+    policy: str = "cooperative"
+    topology: Optional[str] = None
+    #: ``--slo-class``-style specs (``endpoint=[name:]slo_us[@weight]``).
+    service_classes: Tuple[str, ...] = ()
+    cores: int = 8
+    #: Persistent connection pool (open-loop) / concurrency (closed-loop).
+    connections: int = 64
+    #: Total requests; scaled down by ``--quick``.
+    requests: int = 4096
+    #: Client-side SLO in ms; completions slower than this are misses.
+    slo_ms: Optional[float] = None
+    #: http_lb only: "lb" (with backends) or "web" (static server).
+    mode: str = "lb"
+
+
+def _burst_trace(
+    bursts: int, per_burst: int, gap_us: float, spacing_us: float
+) -> Tuple[float, ...]:
+    """A deterministic replay trace: square bursts separated by silence."""
+    stamps = []
+    for burst in range(bursts):
+        start = burst * spacing_us
+        stamps.extend(start + i * gap_us for i in range(per_burst))
+    return tuple(stamps)
+
+
+#: The built-in matrix.  Rates are calibrated against the 8-core
+#: testbeds: http_lb saturates near ~110 kreq/s and the memcached proxy
+#: near ~100 kreq/s, so the "overload" entries offer well past capacity
+#: while the steady entries sit at roughly 40% utilisation.
+SCENARIOS: Tuple[Scenario, ...] = (
+    # Moderate-load closed-loop sanity point (half the overload pair's
+    # connection pool, so it is NOT a duplicate of http-overload-closed).
+    Scenario(
+        name="http-closed-baseline",
+        app="http_lb",
+        arrival=None,
+        connections=32,
+        requests=2048,
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-open-poisson",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-open-bursty",
+        app="http_lb",
+        arrival="bursty",
+        arrival_params=(
+            ("burst_rate_rps", 80_000.0),
+            ("mean_on_us", 10_000.0),
+            ("mean_off_us", 10_000.0),
+        ),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-web-ramp",
+        app="http_lb",
+        mode="web",
+        arrival="ramp",
+        arrival_params=(
+            ("start_rps", 20_000.0),
+            ("end_rps", 250_000.0),
+            ("duration_us", 60_000.0),
+        ),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-overload-open",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 160_000.0),),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-overload-closed",
+        app="http_lb",
+        arrival=None,
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="http-open-numa-classes",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        policy="numa",
+        topology="two-socket",
+        service_classes=("client=gold:2000@2",),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="memcached-open-poisson",
+        app="memcached_proxy",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="memcached-open-replay",
+        app="memcached_proxy",
+        arrival="replay",
+        arrival_params=(
+            (
+                "timestamps_us",
+                _burst_trace(
+                    bursts=4, per_burst=1024, gap_us=12.5,
+                    spacing_us=25_000.0,
+                ),
+            ),
+        ),
+        requests=4096,
+        slo_ms=2.0,
+    ),
+    Scenario(
+        name="hadoop-ramp-mappers",
+        app="hadoop_agg",
+        arrival="ramp",
+        arrival_params=(
+            ("start_rps", 50.0),
+            ("end_rps", 500.0),
+            ("duration_us", 50_000.0),
+        ),
+        cores=4,
+    ),
+)
+
+SCENARIO_NAMES: Tuple[str, ...] = tuple(s.name for s in SCENARIOS)
+_BY_NAME: Dict[str, Scenario] = {s.name: s for s in SCENARIOS}
+
+
+def resolve_scenario_selection(selection: str) -> Tuple[Scenario, ...]:
+    """Map a CLI ``--scenario`` value to matrix entries.
+
+    ``"all"`` (the default) selects the whole matrix, otherwise a
+    comma-separated list of scenario names; typos get a near-miss
+    suggestion, mirroring ``--policy``.
+    """
+    if selection == "all":
+        return SCENARIOS
+    # Order-preserving dedup: `--scenario x,x` must not run x twice
+    # (the second run's result would silently overwrite the first).
+    names = tuple(
+        dict.fromkeys(
+            name.strip() for name in selection.split(",") if name.strip()
+        )
+    )
+    if not names:
+        raise ConfigError(
+            f"--scenario {selection!r} selects no scenarios; known: "
+            f"{', '.join(SCENARIO_NAMES)}"
+        )
+    unknown = [name for name in names if name not in _BY_NAME]
+    if unknown:
+        message = (
+            f"unknown scenario{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(map(repr, unknown))}; known: "
+            f"{', '.join(SCENARIO_NAMES)}"
+        )
+        if len(unknown) == 1:
+            hints = [
+                f"did you mean {suggestion!r}?"
+                for suggestion in [closest_name(unknown[0], _BY_NAME)]
+                if suggestion is not None
+            ]
+        else:
+            hints = [
+                f"did you mean {suggestion!r} for {name!r}?"
+                for name in unknown
+                for suggestion in [closest_name(name, _BY_NAME)]
+                if suggestion is not None
+            ]
+        if hints:
+            message += "; " + " ".join(hints)
+        raise ConfigError(message)
+    return tuple(_BY_NAME[name] for name in names)
+
+
+def _validate_scenario(scenario: Scenario) -> None:
+    if scenario.app not in APP_ENDPOINTS:
+        raise ConfigError(
+            f"scenario {scenario.name!r}: unknown app {scenario.app!r}; "
+            f"known: {', '.join(sorted(APP_ENDPOINTS))}"
+        )
+    # Fields the hadoop testbed does not consume must not be silently
+    # dropped — the entry would report them as if they were in effect
+    # and the gate would pin numbers under a config that never ran.
+    if scenario.app == "hadoop_agg":
+        unsupported = [
+            label
+            for label, is_set in (
+                ("service_classes", bool(scenario.service_classes)),
+                ("slo_ms", scenario.slo_ms is not None),
+            )
+            if is_set
+        ]
+        if unsupported:
+            raise ConfigError(
+                f"scenario {scenario.name!r}: hadoop_agg does not "
+                f"support {', '.join(unsupported)} (mapper streams are "
+                "not per-request workloads)"
+            )
+    if scenario.mode != "lb" and scenario.app != "http_lb":
+        raise ConfigError(
+            f"scenario {scenario.name!r}: mode={scenario.mode!r} is an "
+            "http_lb-only field"
+        )
+
+
+def run_scenario(scenario: Scenario, quick: bool = False) -> dict:
+    """Run one scenario; return its JSON-ready result dict.
+
+    ``quick`` quarters the request volume (CI smoke sizes) — the
+    committed baseline is generated with the same flag, so gate
+    comparisons are like-for-like (enforced via the document envelope).
+    """
+    _validate_scenario(scenario)
+    requests = max(256, scenario.requests // 4) if quick else scenario.requests
+    arrival = None
+    if scenario.arrival is not None:
+        arrival = make_arrival(
+            scenario.arrival, **dict(scenario.arrival_params)
+        )
+    class_map = (
+        parse_slo_class_specs(
+            scenario.service_classes,
+            valid_endpoints=APP_ENDPOINTS[scenario.app],
+        )
+        if scenario.service_classes
+        else None
+    )
+    slo_us = scenario.slo_ms * 1000.0 if scenario.slo_ms is not None else None
+
+    common = dict(
+        policy=scenario.policy,
+        topology=scenario.topology,
+        slo_us=slo_us,
+    )
+    # Scoped task ids, exactly as the fig7 sweep does: a scenario's
+    # numbers must not depend on which scenarios ran before it in this
+    # process (hash placement keys off task ids), and the process
+    # counter must never move backwards afterwards.
+    resume_from = next(TaskBase._ids)
+    TaskBase.reset_ids()
+    try:
+        if scenario.app == "http_lb":
+            result = run_http_experiment(
+                "flick-kernel",
+                scenario.connections,
+                mode=scenario.mode,
+                cores=scenario.cores,
+                requests_per_client=max(1, requests // scenario.connections),
+                service_classes=class_map,
+                arrival=arrival,
+                total_requests=requests,
+                **common,
+            )
+            unit = "kreq/s"
+        elif scenario.app == "memcached_proxy":
+            result = run_memcached_experiment(
+                "flick-kernel",
+                scenario.cores,
+                concurrency=scenario.connections,
+                requests_per_client=max(1, requests // scenario.connections),
+                service_classes=class_map,
+                arrival=arrival,
+                total_requests=requests,
+                **common,
+            )
+            unit = "kreq/s"
+        else:  # hadoop_agg
+            result = run_hadoop_experiment(
+                scenario.cores,
+                data_kb_per_mapper=16 if quick else 48,
+                arrival=arrival,
+                **common,
+            )
+            unit = "Mb/s"
+    finally:
+        TaskBase.reset_ids(max(resume_from, next(TaskBase._ids)))
+
+    extra = result.extra
+    offered = int(extra.get("offered", 0))
+    completed = int(extra.get("completed", 0))
+    measured = int(extra.get("measured", 0))
+    misses = int(extra.get("slo_misses", 0))
+    entry = {
+        "app": scenario.app,
+        "arrival": (
+            arrival.describe() if arrival is not None else "closed-loop"
+        ),
+        "policy": scenario.policy,
+        "topology": scenario.topology or "uniform",
+        "service_classes": list(scenario.service_classes),
+        "cores": scenario.cores,
+        "requests": requests,
+        "offered": offered,
+        "completed": completed,
+        "measured": measured,
+        "errors": int(extra.get("errors", 0)),
+        "throughput": result.throughput,
+        "throughput_unit": unit,
+        "latency_ms": {
+            "mean": result.latency_ms,
+            "p50": extra.get("p50_ms", result.latency_ms),
+            "p99": extra.get("p99_ms", result.latency_ms),
+            "max": extra.get("max_ms", result.latency_ms),
+        },
+        "slo": {
+            "slo_ms": scenario.slo_ms,
+            "misses": misses,
+            # Misses are only counted over the measured window (the
+            # closed loop excludes warmup), so the rate must share
+            # that denominator or warmup requests would dilute it.
+            "miss_rate": (misses / measured) if measured else 0.0,
+        },
+        "classes": result.class_stats,
+        "steals": {
+            "steals": int(extra.get("steals", 0)),
+            "stolen_tasks": int(extra.get("stolen_tasks", 0)),
+            "steal_us": extra.get("steal_us", 0.0),
+        },
+    }
+    if "arrival_gap_mean_us" in extra:
+        entry["arrival_gaps_us"] = {
+            "mean": extra["arrival_gap_mean_us"],
+            "p50": extra["arrival_gap_p50_us"],
+            "p99": extra["arrival_gap_p99_us"],
+        }
+    return entry
+
+
+def run_scenario_matrix(
+    scenarios: Sequence[Scenario], quick: bool = False
+) -> Dict[str, dict]:
+    """Run ``scenarios`` in order; map name → JSON-ready result."""
+    return {
+        scenario.name: run_scenario(scenario, quick=quick)
+        for scenario in scenarios
+    }

@@ -16,7 +16,8 @@ Systems under test:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import random
+from typing import Optional
 
 from repro.apps import hadoop_agg, http_lb, memcached_proxy
 from repro.baselines.apache import ApacheServer
@@ -29,6 +30,12 @@ from repro.runtime.graph import OutboundTarget
 from repro.runtime.platform import FlickPlatform
 from repro.sim.engine import Engine
 from repro.sim.stats import RunResult
+from repro.workloads.arrivals import (
+    HttpRequestCodec,
+    MemcachedRequestCodec,
+    OpenLoopClients,
+    resolve_arrival,
+)
 from repro.workloads.backends import BackendMemcachedServer, BackendWebServer
 from repro.workloads.hadoop_mappers import (
     Mapper,
@@ -47,6 +54,62 @@ HTTP_BASELINES = ("apache", "nginx")
 
 def _stack_of(system: str) -> str:
     return "mtcp" if system == "flick-mtcp" else "kernel"
+
+
+def _steal_extra(platform: Optional[FlickPlatform]) -> dict:
+    """Scheduler steal counters for the result's ``extra`` dict."""
+    if platform is None:
+        return {}
+    scheduler = platform.scheduler
+    return {
+        "steals": float(scheduler.total_steals),
+        "stolen_tasks": float(scheduler.total_stolen_tasks),
+        "steal_us": float(scheduler.total_steal_us),
+    }
+
+
+def _open_loop_extra(population: OpenLoopClients) -> dict:
+    """Client-side latency/SLO/inter-arrival accounting for ``extra``.
+
+    ``measured`` is the number of requests the latency/SLO accounting
+    covers — all of them, for the open loop (no warmup window).
+    """
+    latency = population.latency
+    gaps = population.inter_arrivals
+    return {
+        "offered": float(population.offered),
+        "completed": float(population.completed),
+        "measured": float(latency.count),
+        "errors": float(population.errors),
+        "slo_misses": float(population.slo_misses),
+        "p50_ms": latency.percentile_us(50.0) / 1000.0,
+        "p99_ms": latency.percentile_us(99.0) / 1000.0,
+        "max_ms": latency.max_us() / 1000.0,
+        "arrival_gap_mean_us": gaps.mean_us(),
+        "arrival_gap_p50_us": gaps.percentile_us(50.0),
+        "arrival_gap_p99_us": gaps.percentile_us(99.0),
+    }
+
+
+def _closed_loop_extra(population, total_requests: int, slo_us) -> dict:
+    """The closed-loop populations' equivalent of :func:`_open_loop_extra`.
+
+    ``slo_misses`` is counted over the measured (post-warmup) window,
+    the only one the latency series records; ``measured`` sizes that
+    window so miss *rates* are computed over the same denominator
+    rather than diluted by warmup requests that can never miss.
+    """
+    latency = population.latency
+    return {
+        "offered": float(total_requests),
+        "completed": float(total_requests),
+        "measured": float(latency.count),
+        "errors": float(population.errors),
+        "slo_misses": float(latency.count_over(slo_us)),
+        "p50_ms": latency.percentile_us(50.0) / 1000.0,
+        "p99_ms": latency.percentile_us(99.0) / 1000.0,
+        "max_ms": latency.max_us() / 1000.0,
+    }
 
 
 def _build_topology(n_backends: int = N_BACKENDS):
@@ -78,22 +141,43 @@ def run_http_experiment(
     requests_per_client: int = 40,
     timeslice_us: float = 50.0,
     graph_pool_size: Optional[int] = None,
+    policy=None,
+    topology=None,
+    service_classes=None,
+    slo_us: Optional[float] = None,
+    arrival=None,
+    total_requests: Optional[int] = None,
+    seed: int = 0xF11C,
 ) -> RunResult:
     """One data point of Figure 4 (mode='lb') or the §6.3 web test
-    (mode='web')."""
+    (mode='web').
+
+    ``arrival`` (an :class:`~repro.workloads.arrivals.ArrivalProcess`
+    or registered name) switches the client side from the closed-loop
+    ApacheBench population to :class:`~repro.workloads.arrivals.\
+OpenLoopClients`: ``concurrency`` becomes the size of the persistent
+    connection pool and ``total_requests`` the number of admissions
+    (default ``concurrency * requests_per_client``).  ``policy`` /
+    ``topology`` / ``service_classes`` / ``slo_us`` thread straight
+    into the platform's :class:`~repro.runtime.costs.RuntimeConfig`;
+    ``slo_us`` additionally drives client-side SLO-miss accounting.
+    """
     if mode not in ("lb", "web"):
         raise ValueError(f"unknown mode {mode!r}")
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     use_backends = mode == "lb"
     if use_backends:
-        backend_servers = [
+        # Bound to keep the servers' identity obvious; they stay alive
+        # through the run via their socket callbacks.
+        _backend_servers = [
             BackendWebServer(engine, tcpnet, host, 8080)
             for host in backend_hosts
         ]
         targets = [OutboundTarget(host, 8080) for host in backend_hosts]
     else:
-        backend_servers, targets = [], []
+        targets = []
 
+    platform = None
     if system in FLICK_SYSTEMS:
         config = RuntimeConfig(
             cores=cores,
@@ -102,6 +186,10 @@ def run_http_experiment(
             graph_pool_size=(
                 graph_pool_size if graph_pool_size is not None else 512
             ),
+            policy="cooperative" if policy is None else policy,
+            topology=topology,
+            service_classes=service_classes,
+            slo_us=slo_us,
         )
         platform = FlickPlatform(
             engine, tcpnet, mbox, config, http_lb.http_codec_registry()
@@ -125,30 +213,60 @@ def run_http_experiment(
     else:
         raise ValueError(f"unknown system {system!r}")
 
-    population = HttpClientPopulation(
-        engine,
-        tcpnet,
-        clients,
-        mbox,
-        80,
-        concurrency=concurrency,
-        persistent=persistent,
-        requests_per_client=requests_per_client,
-        warmup_requests=max(2, requests_per_client // 10),
-    )
+    if arrival is not None:
+        population = OpenLoopClients(
+            engine,
+            tcpnet,
+            clients,
+            mbox,
+            80,
+            codec=HttpRequestCodec(),
+            arrival=resolve_arrival(arrival),
+            n_requests=(
+                total_requests
+                if total_requests is not None
+                else concurrency * requests_per_client
+            ),
+            connections=concurrency,
+            seed=seed,
+            slo_us=slo_us,
+        )
+        extra_of = _open_loop_extra
+    else:
+        population = HttpClientPopulation(
+            engine,
+            tcpnet,
+            clients,
+            mbox,
+            80,
+            concurrency=concurrency,
+            persistent=persistent,
+            requests_per_client=requests_per_client,
+            warmup_requests=max(2, requests_per_client // 10),
+        )
+
+        def extra_of(pop):
+            return _closed_loop_extra(
+                pop, concurrency * requests_per_client, slo_us
+            )
+
     population.start()
     engine.run()
     if not population.finished:
         raise RuntimeError(
             f"{system} x={concurrency}: workload did not complete"
         )
-    del backend_servers
+    extra = extra_of(population)
+    extra.update(_steal_extra(platform))
     return RunResult(
         system=system,
         x=concurrency,
         throughput=population.kreqs_per_sec(),
         latency_ms=population.mean_latency_ms(),
-        extra={"errors": float(population.errors)},
+        extra=extra,
+        class_stats=(
+            platform.scoreboard.summary() if platform is not None else {}
+        ),
     )
 
 
@@ -166,8 +284,19 @@ def run_memcached_experiment(
     cache_router: bool = False,
     key_space: int = 10_000,
     value_bytes: int = 64,
+    policy=None,
+    topology=None,
+    service_classes=None,
+    slo_us: Optional[float] = None,
+    arrival=None,
+    total_requests: Optional[int] = None,
+    seed: int = 0xF11C,
 ) -> RunResult:
-    """One data point of Figure 5 (or the parser/cache ablations)."""
+    """One data point of Figure 5 (or the parser/cache ablations).
+
+    ``arrival`` switches the client side to the open-loop population,
+    exactly as in :func:`run_http_experiment`.
+    """
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     filler = b"v" * value_bytes
     backend_servers = [
@@ -178,6 +307,7 @@ def run_memcached_experiment(
     ]
     targets = [OutboundTarget(host, 11211) for host in backend_hosts]
 
+    platform = None
     if system in FLICK_SYSTEMS:
         if cache_router:
             program = memcached_proxy.compile_cache_router()
@@ -185,7 +315,14 @@ def run_memcached_experiment(
         else:
             program = memcached_proxy.compile_proxy()
             proc_name = "Memcached"
-        config = RuntimeConfig(cores=cores, stack=_stack_of(system))
+        config = RuntimeConfig(
+            cores=cores,
+            stack=_stack_of(system),
+            policy="cooperative" if policy is None else policy,
+            topology=topology,
+            service_classes=service_classes,
+            slo_us=slo_us,
+        )
         platform = FlickPlatform(
             engine,
             tcpnet,
@@ -207,31 +344,60 @@ def run_memcached_experiment(
     else:
         raise ValueError(f"unknown system {system!r}")
 
-    population = MemcachedClientPopulation(
-        engine,
-        tcpnet,
-        clients,
-        mbox,
-        11211,
-        concurrency=concurrency,
-        requests_per_client=requests_per_client,
-        warmup_requests=max(2, requests_per_client // 10),
-        key_space=key_space,
-    )
+    if arrival is not None:
+        population = OpenLoopClients(
+            engine,
+            tcpnet,
+            clients,
+            mbox,
+            11211,
+            codec=MemcachedRequestCodec(key_space=key_space),
+            arrival=resolve_arrival(arrival),
+            n_requests=(
+                total_requests
+                if total_requests is not None
+                else concurrency * requests_per_client
+            ),
+            connections=concurrency,
+            seed=seed,
+            slo_us=slo_us,
+        )
+        extra_of = _open_loop_extra
+    else:
+        population = MemcachedClientPopulation(
+            engine,
+            tcpnet,
+            clients,
+            mbox,
+            11211,
+            concurrency=concurrency,
+            requests_per_client=requests_per_client,
+            warmup_requests=max(2, requests_per_client // 10),
+            key_space=key_space,
+        )
+
+        def extra_of(pop):
+            return _closed_loop_extra(
+                pop, concurrency * requests_per_client, slo_us
+            )
+
     population.start()
     engine.run()
     if not population.finished:
         raise RuntimeError(f"{system} cores={cores}: workload did not complete")
     backend_hits = sum(s.requests_served for s in backend_servers)
+    extra = extra_of(population)
+    extra["backend_requests"] = float(backend_hits)
+    extra.update(_steal_extra(platform))
     return RunResult(
         system=system,
         x=cores,
         throughput=population.kreqs_per_sec(),
         latency_ms=population.mean_latency_ms(),
-        extra={
-            "errors": float(population.errors),
-            "backend_requests": float(backend_hits),
-        },
+        extra=extra,
+        class_stats=(
+            platform.scoreboard.summary() if platform is not None else {}
+        ),
     )
 
 
@@ -252,8 +418,22 @@ def run_hadoop_experiment(
     data_kb_per_mapper: int = 96,
     n_mappers: int = 8,
     stack: str = "kernel",
+    policy=None,
+    topology=None,
+    slo_us: Optional[float] = None,
+    arrival=None,
+    seed: int = 0xF11C,
 ) -> RunResult:
-    """One data point of Figure 6: aggregate ingress throughput (Mb/s)."""
+    """One data point of Figure 6: aggregate ingress throughput (Mb/s).
+
+    ``arrival`` (an arrival process or registered name) staggers the
+    mappers: instead of all ``n_mappers`` connecting at time zero (the
+    paper's setup), mapper ``i`` starts at the ``i``-th arrival tick —
+    modelling a job whose map tasks finish, and ship their output, on
+    the cluster scheduler's clock rather than in lockstep.  A finite
+    trace shorter than ``n_mappers`` starts the remainder at the last
+    stamp.
+    """
     engine = Engine()
     tcpnet = TcpNetwork(engine)
     scale = HADOOP_LINK_SCALE
@@ -270,7 +450,13 @@ def run_hadoop_experiment(
         engine,
         tcpnet,
         mbox,
-        RuntimeConfig(cores=cores, stack=stack),
+        RuntimeConfig(
+            cores=cores,
+            stack=stack,
+            policy="cooperative" if policy is None else policy,
+            topology=topology,
+            slo_us=slo_us,
+        ),
         hadoop_agg.hadoop_codec_registry(),
     )
     platform.register_program(
@@ -292,19 +478,29 @@ def run_hadoop_experiment(
         for host, pairs in zip(mapper_hosts, outputs)
     ]
     total_bytes = sum(m.bytes_total for m in mappers)
-    for mapper in mappers:
-        mapper.start()
+    if arrival is not None:
+        gaps = resolve_arrival(arrival).gaps(random.Random(seed))
+        start_at = 0.0
+        for mapper in mappers:
+            start_at += next(gaps, 0.0)
+            engine.schedule(start_at, mapper.start)
+    else:
+        for mapper in mappers:
+            mapper.start()
     engine.run()
     if sink.finished_at is None:
         raise RuntimeError(f"hadoop cores={cores}: aggregation did not finish")
+    extra = {
+        "ingress_bytes": float(total_bytes),
+        "egress_bytes": float(sink.bytes_received),
+        "word_len": float(word_len),
+    }
+    extra.update(_steal_extra(platform))
     return RunResult(
         system=f"flick-{stack}",
         x=cores,
         throughput=throughput_mbps(total_bytes, sink.finished_at),
         latency_ms=sink.finished_at / 1000.0,
-        extra={
-            "ingress_bytes": float(total_bytes),
-            "egress_bytes": float(sink.bytes_received),
-            "word_len": float(word_len),
-        },
+        extra=extra,
+        class_stats=platform.scoreboard.summary(),
     )

@@ -24,7 +24,7 @@ and compiles them to :class:`repro.grammar.model.Unit` objects.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.errors import GrammarError
 from repro.grammar.model import (

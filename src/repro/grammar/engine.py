@@ -26,20 +26,14 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.errors import ParseError, SerializeError
 from repro.grammar.model import (
-    BIG,
-    Binary,
-    Const,
     ConstField,
     DataField,
     Field,
     FieldRef,
     IntField,
-    SelfRef,
-    SizeExpr,
     Unit,
     VarField,
     eval_expr,
-    referenced_fields,
 )
 from repro.lang.values import Record
 

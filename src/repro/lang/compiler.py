@@ -23,7 +23,7 @@ operation counts for virtual-time charging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import FlickError, FlickTypeError
 from repro.lang import ast

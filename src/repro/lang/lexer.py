@@ -108,7 +108,6 @@ class Lexer:
         # Measure leading whitespace of the current line; blank lines and
         # comment-only lines produce no INDENT/DEDENT/NEWLINE tokens.
         while True:
-            start = self._pos
             width = 0
             while self._pos < len(self._source) and self._peek() in " \t":
                 width += 8 - (width % 8) if self._peek() == "\t" else 1

@@ -19,7 +19,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, List, Optional
 
-from repro.core.errors import RuntimeFlickError
 from repro.runtime.costs import GRAPH_BUILD_US, GRAPH_RECYCLE_US
 from repro.runtime.scheduler import TaskBase
 

@@ -25,7 +25,7 @@ from collections import deque
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import RuntimeFlickError
-from repro.lang.values import Record, record_size_bytes
+from repro.lang.values import Record
 from repro.net.stackprofiles import StackProfile
 from repro.runtime.channel import EOS, TaskChannel
 from repro.runtime.costs import TASK_DISPATCH_US, ops_to_us

@@ -2,7 +2,9 @@
 
 :class:`LatencySeries` collects per-request latencies; :class:`Meter`
 counts events over the run; :class:`SloScoreboard` accounts task
-completions, latency and SLO misses per service class.  All convert
+completions, latency and SLO misses per service class;
+:class:`IntervalSeries` records the gaps between successive events (the
+realised inter-arrival times of an open-loop workload).  All convert
 virtual-µs durations into the units the paper's figures use (thousand
 requests/s, ms, Mb/s).
 """
@@ -58,6 +60,46 @@ class LatencySeries:
 
     def max_us(self) -> float:
         return max(self._samples) if self._samples else 0.0
+
+    def count_over(self, threshold_us: Optional[float]) -> int:
+        """Samples strictly above ``threshold_us`` (0 when ``None``).
+
+        Client-side SLO accounting: with the SLO as the threshold, this
+        is the number of requests that missed it.
+        """
+        if threshold_us is None:
+            return 0
+        return sum(1 for sample in self._samples if sample > threshold_us)
+
+    def percentile_summary_ms(self) -> Dict[str, float]:
+        """The figure-ready percentile series: mean/p50/p99/max in ms."""
+        return {
+            "mean": self.mean_ms(),
+            "p50": millis(self.percentile_us(50.0)),
+            "p99": millis(self.percentile_us(99.0)),
+            "max": millis(self.max_us()),
+        }
+
+
+class IntervalSeries(LatencySeries):
+    """Gaps between successive observations (virtual µs).
+
+    Open-loop workload generators feed every admission clock tick into
+    one of these; the inherited percentile accessors then describe the
+    *realised* inter-arrival distribution (e.g. a bursty process shows a
+    small p50 gap and a large p99 gap), which the scenario results
+    record next to the configured arrival process.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._last_us: Optional[float] = None
+
+    def observe(self, now_us: float) -> None:
+        """Record the gap since the previous observation (first is free)."""
+        if self._last_us is not None:
+            self.record(now_us - self._last_us)
+        self._last_us = now_us
 
 
 class Meter:
@@ -211,13 +253,19 @@ class SloScoreboard:
 
 @dataclass
 class RunResult:
-    """One experiment data point (a single plotted marker in a figure)."""
+    """One experiment data point (a single plotted marker in a figure).
+
+    ``class_stats`` carries the per-service-class SLO outcome summary
+    (:meth:`SloScoreboard.summary`) when the run had a scoreboard —
+    empty for cost-model baselines.
+    """
 
     system: str
     x: float  # the figure's x value (clients, cores, ...)
     throughput: float = 0.0  # in the figure's unit
     latency_ms: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    class_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_row(self) -> str:
         return (

@@ -1,1 +1,12 @@
-"""Workload generators: HTTP clients, Memcached clients, Hadoop mappers."""
+"""Workload generators: HTTP clients, Memcached clients, Hadoop mappers.
+
+Two client models drive the testbeds: the paper's closed-loop
+populations (:mod:`~repro.workloads.http_clients`,
+:mod:`~repro.workloads.memcached_clients` — ApacheBench-style, each
+client waits for its response) and the open-loop generation in
+:mod:`~repro.workloads.arrivals` — a registry of arrival processes
+(poisson / bursty MMPP / ramp / replay) feeding an
+:class:`~repro.workloads.arrivals.OpenLoopClients` population that
+admits requests on the arrival clock regardless of completions, making
+overload and SLO-miss behaviour observable.
+"""

@@ -1,0 +1,502 @@
+"""Open-loop workload generation: arrival processes + client population.
+
+The paper's evaluation is entirely *closed-loop* (ApacheBench-style: N
+clients in lockstep, each waiting for its response before sending the
+next request).  Closed-loop clients self-throttle — when the middlebox
+saturates, the offered load drops with it, so overload and SLO-miss
+behaviour are invisible.  This module supplies the missing half:
+
+* :class:`ArrivalProcess` — the *policy* side of load generation,
+  mirroring the scheduler's policy/mechanism split
+  (:mod:`repro.runtime.policy`): a string-keyed registry of processes
+  that emit inter-arrival gaps.  ``poisson`` (memoryless), ``bursty``
+  (a two-state MMPP: exponential ON/OFF dwells with arrivals only
+  while ON), ``ramp`` (deterministic linear rate sweep, for capacity
+  walks) and ``replay`` (an explicit timestamp trace) ship built in;
+  :func:`register_arrival` adds more.
+* :class:`OpenLoopClients` — the *mechanism*: a client population that
+  admits one request per arrival-clock tick **regardless of
+  completions**.  Requests are sprayed round-robin over a fixed pool of
+  persistent connections and pipelined, so a backlogged middlebox
+  accumulates queueing latency instead of throttling the source — the
+  regime where SLO misses become observable.
+
+Latency is measured from *admission* (the arrival tick), not from the
+socket write, so connection backlog counts against the SLO exactly as a
+queueing model would.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.core.errors import ConfigError
+from repro.grammar.protocols import http
+from repro.grammar.protocols import memcached as mc
+from repro.net.simnet import Host
+from repro.net.tcp import TcpNetwork, TcpSocket
+from repro.runtime.qos import closest_name
+from repro.sim.engine import Engine, Timeout
+from repro.sim.stats import IntervalSeries, LatencySeries, Meter
+
+US_PER_S = 1_000_000.0
+
+
+class ArrivalProcess:
+    """Emits inter-arrival gaps (virtual µs) for an open-loop source.
+
+    Subclasses override :meth:`gaps`; randomised processes draw from the
+    ``rng`` handed in by the population so one seed reproduces the whole
+    run.  A process may be finite (``replay``) — the population stops
+    admitting when the iterator is exhausted.
+    """
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable parameterisation for reports."""
+        return self.name
+
+
+_REGISTRY: Dict[str, Type[ArrivalProcess]] = {}
+
+
+def register_arrival(cls: Type[ArrivalProcess]) -> Type[ArrivalProcess]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    if not cls.name or cls.name == "abstract":
+        raise ConfigError(f"arrival class {cls.__name__} needs a name")
+    if cls.name in _REGISTRY:
+        raise ConfigError(f"arrival process {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_arrivals() -> tuple:
+    """All registered arrival-process names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def closest_arrival_name(name: str) -> Optional[str]:
+    """The registered name a typo most plausibly meant, or ``None``."""
+    return closest_name(name, _REGISTRY)
+
+
+def unknown_arrival_message(name: str) -> str:
+    """Error text for an unregistered arrival name, with a near-miss."""
+    message = (
+        f"unknown arrival process {name!r}; registered: "
+        f"{', '.join(sorted(_REGISTRY))}"
+    )
+    suggestion = closest_arrival_name(name)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    return message
+
+
+def make_arrival(name: str, **params) -> ArrivalProcess:
+    """Instantiate the registered arrival process ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(unknown_arrival_message(name)) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ConfigError(
+            f"bad parameters for arrival process {name!r}: {exc}"
+        ) from None
+
+
+def resolve_arrival(spec, **params) -> ArrivalProcess:
+    """Accept an arrival name or a ready instance; return an instance."""
+    if isinstance(spec, ArrivalProcess):
+        return spec
+    if isinstance(spec, str):
+        return make_arrival(spec, **params)
+    raise ConfigError(
+        f"arrival must be a name or ArrivalProcess, got {type(spec).__name__}"
+    )
+
+
+def _check_rate(rate_rps: float, what: str = "rate_rps") -> float:
+    if rate_rps <= 0:
+        raise ConfigError(f"{what} must be positive, got {rate_rps:g}")
+    return float(rate_rps)
+
+
+@register_arrival
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_rps`` requests/second."""
+
+    name = "poisson"
+
+    def __init__(self, rate_rps: float = 1_000.0):
+        self.rate_rps = _check_rate(rate_rps)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        mean_gap_us = US_PER_S / self.rate_rps
+        while True:
+            yield rng.expovariate(1.0) * mean_gap_us
+
+    def describe(self) -> str:
+        return f"poisson({self.rate_rps:g}/s)"
+
+
+@register_arrival
+class BurstyArrivals(ArrivalProcess):
+    """Two-state MMPP: Poisson bursts at ``burst_rate_rps`` while ON.
+
+    Dwell times in both states are exponential (means ``mean_on_us`` /
+    ``mean_off_us``); no arrivals occur while OFF, so the long-run mean
+    rate is ``burst_rate_rps * on_fraction`` but the instantaneous rate
+    the middlebox must absorb is the full burst rate.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_rate_rps: float = 4_000.0,
+        mean_on_us: float = 20_000.0,
+        mean_off_us: float = 20_000.0,
+    ):
+        self.burst_rate_rps = _check_rate(burst_rate_rps, "burst_rate_rps")
+        if mean_on_us <= 0 or mean_off_us <= 0:
+            raise ConfigError(
+                "mean_on_us and mean_off_us must be positive, got "
+                f"{mean_on_us:g}/{mean_off_us:g}"
+            )
+        self.mean_on_us = float(mean_on_us)
+        self.mean_off_us = float(mean_off_us)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        mean_gap_us = US_PER_S / self.burst_rate_rps
+        on_left = rng.expovariate(1.0) * self.mean_on_us
+        while True:
+            gap = rng.expovariate(1.0) * mean_gap_us
+            # Burn through whole OFF periods the gap straddles: dwells
+            # are memoryless, so drawing the next ON window afresh each
+            # time an arrival would overshoot the current one is exact.
+            # The ON time consumed before each OFF dwell counts toward
+            # elapsed time too — dropping it would inflate the realised
+            # rate above burst_rate * duty.
+            elapsed = 0.0
+            while gap > on_left:
+                gap -= on_left
+                elapsed += on_left
+                elapsed += rng.expovariate(1.0) * self.mean_off_us
+                on_left = rng.expovariate(1.0) * self.mean_on_us
+            on_left -= gap
+            yield elapsed + gap
+
+    def describe(self) -> str:
+        duty = self.mean_on_us / (self.mean_on_us + self.mean_off_us)
+        return (
+            f"bursty({self.burst_rate_rps:g}/s x {duty * 100:.0f}% duty)"
+        )
+
+
+@register_arrival
+class RampArrivals(ArrivalProcess):
+    """Deterministic linear rate sweep: ``start_rps`` → ``end_rps``.
+
+    The rate ramps over ``duration_us`` of virtual time and holds at
+    ``end_rps`` afterwards; gaps are the current rate's reciprocal, so
+    a ramp past the service capacity walks the workload through the
+    saturation knee within a single run.
+    """
+
+    name = "ramp"
+
+    def __init__(
+        self,
+        start_rps: float = 500.0,
+        end_rps: float = 4_000.0,
+        duration_us: float = 500_000.0,
+    ):
+        self.start_rps = _check_rate(start_rps, "start_rps")
+        self.end_rps = _check_rate(end_rps, "end_rps")
+        if duration_us <= 0:
+            raise ConfigError(
+                f"duration_us must be positive, got {duration_us:g}"
+            )
+        self.duration_us = float(duration_us)
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        elapsed = 0.0
+        slope = (self.end_rps - self.start_rps) / self.duration_us
+        while True:
+            if elapsed >= self.duration_us:
+                rate = self.end_rps
+            else:
+                rate = self.start_rps + slope * elapsed
+            gap = US_PER_S / rate
+            elapsed += gap
+            yield gap
+
+    def describe(self) -> str:
+        return (
+            f"ramp({self.start_rps:g}->{self.end_rps:g}/s over "
+            f"{self.duration_us / 1000.0:g}ms)"
+        )
+
+
+@register_arrival
+class ReplayArrivals(ArrivalProcess):
+    """Replay an explicit trace of absolute arrival timestamps (µs).
+
+    The only finite process: admission stops when the trace ends.
+    Timestamps must be non-decreasing (a captured trace is); the first
+    arrival fires at ``timestamps_us[0]``.
+    """
+
+    name = "replay"
+
+    def __init__(self, timestamps_us: Iterable[float] = ()):
+        trace = [float(t) for t in timestamps_us]
+        if not trace:
+            raise ConfigError("replay needs a non-empty timestamps_us trace")
+        for earlier, later in zip(trace, trace[1:]):
+            if later < earlier:
+                raise ConfigError(
+                    f"replay trace goes backwards ({later:g} after "
+                    f"{earlier:g}); timestamps must be non-decreasing"
+                )
+        if trace[0] < 0:
+            raise ConfigError(
+                f"replay trace starts before time zero ({trace[0]:g})"
+            )
+        self.timestamps_us = trace
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        previous = 0.0
+        for stamp in self.timestamps_us:
+            yield stamp - previous
+            previous = stamp
+
+    def describe(self) -> str:
+        return f"replay({len(self.timestamps_us)} stamps)"
+
+
+# ---------------------------------------------------------------------------
+# Protocol adapters: how one admitted request goes on (and comes off) the wire
+# ---------------------------------------------------------------------------
+
+
+class RequestCodec:
+    """Protocol adapter for :class:`OpenLoopClients` (one per protocol)."""
+
+    def request_bytes(self, index: int) -> bytes:
+        """Wire bytes of the ``index``-th admitted request."""
+        raise NotImplementedError
+
+    def parser(self):
+        """A fresh stream parser with ``feed(data)`` / ``messages()``."""
+        raise NotImplementedError
+
+    def is_error(self, message) -> bool:
+        return False
+
+    def response_size(self, message) -> int:
+        return 0
+
+
+class HttpRequestCodec(RequestCodec):
+    """Keep-alive GETs against one path (the Figure-4 request shape)."""
+
+    def __init__(self, path: str = "/index.html"):
+        self.path = path
+
+    def request_bytes(self, index: int) -> bytes:
+        return http.make_request(
+            "GET", f"{self.path}?r={index}", keep_alive=True
+        ).raw
+
+    def parser(self):
+        return http.HttpResponseParser()
+
+    def is_error(self, message) -> bool:
+        return message.status != 200
+
+    def response_size(self, message) -> int:
+        return len(message.body)
+
+
+class MemcachedRequestCodec(RequestCodec):
+    """Binary-protocol GETK over a deterministic key space (§6.2)."""
+
+    def __init__(self, key_space: int = 10_000, opcode: int = mc.OP_GETK):
+        self.key_space = key_space
+        self.opcode = opcode
+
+    def request_bytes(self, index: int) -> bytes:
+        key = f"key-{index % self.key_space:06d}"
+        return mc.encode(mc.make_request(self.opcode, key, opaque=index))
+
+    def parser(self):
+        return mc.full_codec().parser()
+
+    def is_error(self, message) -> bool:
+        return message.magic_code != mc.MAGIC_RESPONSE
+
+    def response_size(self, message) -> int:
+        return len(message.raw or b"")
+
+
+# ---------------------------------------------------------------------------
+# The open-loop population
+# ---------------------------------------------------------------------------
+
+
+class OpenLoopClients:
+    """Admit ``n_requests`` on the arrival clock, completions be damned.
+
+    A fixed pool of persistent connections is opened up front (spread
+    round-robin over ``client_hosts``); each admitted request is
+    assigned to connection ``index % connections`` and pipelined behind
+    whatever that connection still has in flight.  Responses come back
+    in FIFO order per connection, so each one is matched to the oldest
+    outstanding admission and its latency runs from the admission tick.
+
+    ``slo_us`` (optional) marks any completion slower than the target as
+    an SLO miss.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        tcpnet: TcpNetwork,
+        client_hosts: List[Host],
+        target: Host,
+        port: int,
+        codec: RequestCodec,
+        arrival: ArrivalProcess,
+        n_requests: int,
+        connections: int = 64,
+        seed: int = 0xF11C,
+        slo_us: Optional[float] = None,
+    ):
+        if n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        self.engine = engine
+        self.tcpnet = tcpnet
+        self.client_hosts = client_hosts
+        self.target = target
+        self.port = port
+        self.codec = codec
+        self.arrival = arrival
+        self.n_requests = n_requests
+        self.connections = connections
+        self.rng = random.Random(seed)
+        self.slo_us = slo_us
+        self.latency = LatencySeries()
+        self.inter_arrivals = IntervalSeries()
+        self.meter = Meter()
+        self.offered = 0
+        self.completed = 0
+        self.errors = 0
+        self.slo_misses = 0
+        self._conns: List[_OpenConnection] = []
+        self._started = False
+        self._admission_closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("population already started")
+        self._started = True
+        self.meter.begin(self.engine.now)
+        for index in range(self.connections):
+            host = self.client_hosts[index % len(self.client_hosts)]
+            conn = _OpenConnection(self, host)
+            self._conns.append(conn)
+            conn.open()
+        self.engine.process(self._admit())
+
+    def _admit(self):
+        for gap in self.arrival.gaps(self.rng):
+            if self.offered >= self.n_requests:
+                break
+            if gap > 0:
+                yield Timeout(gap)
+            index = self.offered
+            self.offered += 1
+            self.inter_arrivals.observe(self.engine.now)
+            self._conns[index % self.connections].admit(index)
+        self._admission_closed = True
+
+    # -- completion accounting ----------------------------------------------
+
+    def _on_response(self, admitted_us: float, message) -> None:
+        latency = self.engine.now - admitted_us
+        self.completed += 1
+        if self.codec.is_error(message):
+            self.errors += 1
+        self.latency.record(latency)
+        if self.slo_us is not None and latency > self.slo_us:
+            self.slo_misses += 1
+        self.meter.add(self.codec.response_size(message))
+        self.meter.finish(self.engine.now)
+
+    @property
+    def finished(self) -> bool:
+        """Every admitted request saw a response (trace may cut offers
+        short of ``n_requests`` — ``replay`` is finite)."""
+        return self._admission_closed and self.completed == self.offered
+
+    # -- results -------------------------------------------------------------
+
+    def kreqs_per_sec(self) -> float:
+        return self.meter.kreqs_per_sec()
+
+    def mean_latency_ms(self) -> float:
+        return self.latency.mean_ms()
+
+
+class _OpenConnection:
+    """One persistent connection: pipelined sends, FIFO response match."""
+
+    def __init__(self, pop: OpenLoopClients, host: Host):
+        self.pop = pop
+        self.host = host
+        self.socket: Optional[TcpSocket] = None
+        self.parser = pop.codec.parser()
+        #: Admission timestamps of requests in flight (or queued behind
+        #: the connect), oldest first.
+        self.outstanding: deque = deque()
+        #: Requests admitted before the connect completed.
+        self._backlog: deque = deque()
+
+    def open(self) -> None:
+        def connected(socket: TcpSocket) -> None:
+            self.socket = socket
+            socket.on_receive(self._on_data)
+            while self._backlog:
+                self.socket.send(self._backlog.popleft())
+
+        self.pop.tcpnet.connect(
+            self.host, self.pop.target, self.pop.port, connected
+        )
+
+    def admit(self, index: int) -> None:
+        self.outstanding.append(self.pop.engine.now)
+        payload = self.pop.codec.request_bytes(index)
+        if self.socket is None:
+            self._backlog.append(payload)
+        else:
+            self.socket.send(payload)
+
+    def _on_data(self, data: bytes) -> None:
+        self.parser.feed(data)
+        for message in self.parser.messages():
+            admitted_us = self.outstanding.popleft()
+            self.pop._on_response(admitted_us, message)

@@ -1,0 +1,206 @@
+"""Arrival-process registry + open-loop client population tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.apps import http_lb
+from repro.bench.testbeds import _build_topology
+from repro.core.errors import ConfigError
+from repro.runtime.costs import RuntimeConfig
+from repro.runtime.platform import FlickPlatform
+from repro.sim.stats import IntervalSeries, LatencySeries
+from repro.workloads.arrivals import (
+    HttpRequestCodec,
+    OpenLoopClients,
+    closest_arrival_name,
+    make_arrival,
+    registered_arrivals,
+    resolve_arrival,
+)
+
+
+def take(process, n, seed=7):
+    return list(itertools.islice(process.gaps(random.Random(seed)), n))
+
+
+class TestRegistry:
+    def test_builtin_processes_registered(self):
+        assert set(registered_arrivals()) >= {
+            "poisson", "bursty", "ramp", "replay",
+        }
+
+    def test_unknown_name_gets_near_miss_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            make_arrival("poison", rate_rps=1000)
+        assert "unknown arrival process 'poison'" in str(excinfo.value)
+        assert "did you mean 'poisson'?" in str(excinfo.value)
+
+    def test_closest_arrival_name(self):
+        assert closest_arrival_name("burstey") == "bursty"
+        assert closest_arrival_name("zzzzz") is None
+
+    def test_bad_parameters_are_config_errors(self):
+        with pytest.raises(ConfigError, match="bad parameters"):
+            make_arrival("poisson", rate_hz=1000)
+        with pytest.raises(ConfigError, match="must be positive"):
+            make_arrival("poisson", rate_rps=-1)
+
+    def test_resolve_accepts_instance_and_name(self):
+        instance = make_arrival("poisson", rate_rps=10.0)
+        assert resolve_arrival(instance) is instance
+        assert resolve_arrival("ramp").name == "ramp"
+        with pytest.raises(ConfigError, match="name or ArrivalProcess"):
+            resolve_arrival(42)
+
+
+class TestProcesses:
+    def test_poisson_mean_gap_matches_rate(self):
+        gaps = take(make_arrival("poisson", rate_rps=10_000.0), 4000)
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(100.0, rel=0.1)  # 1e6/10k µs
+
+    def test_same_seed_reproduces_the_gap_sequence(self):
+        for name in ("poisson", "bursty"):
+            process = make_arrival(name)
+            assert take(process, 50, seed=3) == take(process, 50, seed=3)
+            assert take(process, 50, seed=3) != take(process, 50, seed=4)
+
+    def test_bursty_realised_rate_is_below_burst_rate(self):
+        process = make_arrival(
+            "bursty", burst_rate_rps=10_000.0,
+            mean_on_us=5_000.0, mean_off_us=5_000.0,
+        )
+        gaps = take(process, 4000)
+        mean = sum(gaps) / len(gaps)
+        # 50% duty: the long-run mean gap is ~2x the in-burst gap.
+        assert mean == pytest.approx(200.0, rel=0.25)
+        assert min(gaps) < 200.0 < max(gaps)
+
+    def test_ramp_gaps_shrink_then_hold_at_end_rate(self):
+        process = make_arrival(
+            "ramp", start_rps=1_000.0, end_rps=10_000.0,
+            duration_us=50_000.0,
+        )
+        gaps = take(process, 400)
+        assert gaps[0] == pytest.approx(1000.0)  # 1e6/start
+        assert all(b <= a for a, b in zip(gaps, gaps[1:]))
+        assert gaps[-1] == pytest.approx(100.0)  # held at 1e6/end
+
+    def test_replay_reproduces_the_trace(self):
+        process = make_arrival("replay", timestamps_us=[5, 5, 30, 100])
+        assert take(process, 10) == [5.0, 0.0, 25.0, 70.0]
+
+    def test_replay_rejects_bad_traces(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            make_arrival("replay", timestamps_us=[])
+        with pytest.raises(ConfigError, match="backwards"):
+            make_arrival("replay", timestamps_us=[10, 5])
+        with pytest.raises(ConfigError, match="before time zero"):
+            make_arrival("replay", timestamps_us=[-1, 5])
+
+
+class TestStatsHelpers:
+    def test_interval_series_records_gaps_between_observations(self):
+        series = IntervalSeries()
+        for t in (10.0, 15.0, 35.0):
+            series.observe(t)
+        assert series.count == 2
+        assert series.mean_us() == pytest.approx(12.5)
+
+    def test_count_over(self):
+        series = LatencySeries()
+        for v in (1.0, 5.0, 10.0, 20.0):
+            series.record(v)
+        assert series.count_over(None) == 0
+        assert series.count_over(5.0) == 2
+        assert series.count_over(0.5) == 4
+
+    def test_percentile_summary_ms_keys(self):
+        series = LatencySeries()
+        series.record(1000.0)
+        summary = series.percentile_summary_ms()
+        assert set(summary) == {"mean", "p50", "p99", "max"}
+        assert summary["max"] == pytest.approx(1.0)
+
+
+def _static_web_testbed(cores=4):
+    engine, tcpnet, mbox, clients, _ = _build_topology()
+    platform = FlickPlatform(
+        engine, tcpnet, mbox, RuntimeConfig(cores=cores),
+        http_lb.http_codec_registry(),
+    )
+    platform.register_program(http_lb.compile_static_web(), "StaticWeb", 80)
+    platform.start()
+    return engine, tcpnet, mbox, clients, platform
+
+
+class TestOpenLoopClients:
+    def test_admission_runs_on_the_arrival_clock(self):
+        engine, tcpnet, mbox, clients, _ = _static_web_testbed()
+        population = OpenLoopClients(
+            engine, tcpnet, clients, mbox, 80,
+            codec=HttpRequestCodec(),
+            arrival=make_arrival("poisson", rate_rps=20_000.0),
+            n_requests=300, connections=16, slo_us=5_000.0,
+        )
+        population.start()
+        engine.run()
+        assert population.finished
+        assert population.offered == 300
+        assert population.completed == 300
+        assert population.errors == 0
+        # every admission tick after the first lands in the gap series
+        assert population.inter_arrivals.count == 299
+        assert population.latency.count == 300
+
+    def test_replay_trace_shorter_than_n_requests_finishes(self):
+        engine, tcpnet, mbox, clients, _ = _static_web_testbed()
+        population = OpenLoopClients(
+            engine, tcpnet, clients, mbox, 80,
+            codec=HttpRequestCodec(),
+            arrival=make_arrival(
+                "replay", timestamps_us=[0.0, 100.0, 5_000.0]
+            ),
+            n_requests=50, connections=4,
+        )
+        population.start()
+        engine.run()
+        assert population.finished
+        assert population.offered == 3
+
+    def test_same_seed_reproduces_the_run(self):
+        def run(seed):
+            engine, tcpnet, mbox, clients, _ = _static_web_testbed()
+            population = OpenLoopClients(
+                engine, tcpnet, clients, mbox, 80,
+                codec=HttpRequestCodec(),
+                arrival=make_arrival("poisson", rate_rps=50_000.0),
+                n_requests=200, connections=8, seed=seed,
+            )
+            population.start()
+            engine.run()
+            return (
+                population.latency.mean_us(),
+                population.kreqs_per_sec(),
+                population.inter_arrivals.mean_us(),
+            )
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_rejects_degenerate_parameters(self):
+        engine, tcpnet, mbox, clients, _ = _static_web_testbed()
+        with pytest.raises(ValueError, match="n_requests"):
+            OpenLoopClients(
+                engine, tcpnet, clients, mbox, 80,
+                codec=HttpRequestCodec(), arrival=make_arrival("poisson"),
+                n_requests=0,
+            )
+        with pytest.raises(ValueError, match="connections"):
+            OpenLoopClients(
+                engine, tcpnet, clients, mbox, 80,
+                codec=HttpRequestCodec(), arrival=make_arrival("poisson"),
+                n_requests=10, connections=0,
+            )

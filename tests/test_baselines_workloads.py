@@ -171,7 +171,7 @@ class TestWorkloadGenerators:
 
     def test_memcached_backend_set_then_get(self):
         engine, net, mbox, clients, backend_hosts = _topology()
-        server = BackendMemcachedServer(engine, net, backend_hosts[0], 11211)
+        _server = BackendMemcachedServer(engine, net, backend_hosts[0], 11211)
         from repro.grammar.protocols import memcached as mc
 
         got = []

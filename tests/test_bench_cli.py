@@ -1,0 +1,155 @@
+"""Argument-handling tests for the ``python -m repro.bench`` surface.
+
+The underlying parsers (``resolve_policy_selection``,
+``parse_slo_class_specs``, ``resolve_scenario_selection``) have their own
+unit tests; these exercise the CLI itself — exit codes and the error
+text a user actually sees.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import results as results_io
+from repro.bench.cli import main
+
+
+class TestUnknownSubcommand:
+    def test_exits_2_and_lists_the_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig9"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "invalid choice: 'fig9'" in stderr
+        assert "scenarios" in stderr
+
+    def test_no_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestPolicyFlag:
+    def test_near_miss_suggestion_before_anything_runs(self, capsys):
+        assert main(["fig7", "--quick", "--policy", "cooperativ"]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown scheduling policy 'cooperativ'" in stderr
+        assert "did you mean 'cooperative'?" in stderr
+
+    def test_typo_rejected_even_for_non_fig7_targets(self, capsys):
+        # validation happens up front, not when the loop reaches fig7
+        assert main(["e1", "--quick", "--policy", "dead-line"]) == 2
+        assert "did you mean 'deadline'?" in capsys.readouterr().err
+
+    def test_empty_selection_rejected(self, capsys):
+        assert main(["fig7", "--quick", "--policy", ","]) == 2
+        assert "selects no policies" in capsys.readouterr().err
+
+
+class TestSloClassFlag:
+    def test_malformed_spec_exits_2(self, capsys):
+        assert main(["fig7", "--quick", "--slo-class", "light-1000"]) == 2
+        assert "malformed --slo-class" in capsys.readouterr().err
+
+    def test_unknown_endpoint_gets_near_miss(self, capsys):
+        assert main(["fig7", "--quick", "--slo-class", "ligth=1000"]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown endpoint 'ligth'" in stderr
+        assert "did you mean 'light'?" in stderr
+
+    def test_non_numeric_slo_exits_2(self, capsys):
+        assert main(["fig7", "--quick", "--slo-class", "light=fast"]) == 2
+        assert "is not a number of µs" in capsys.readouterr().err
+
+
+class TestScenarioFlag:
+    def test_unknown_scenario_exits_2_with_suggestion(self, capsys):
+        assert main(["scenarios", "--scenario", "http-overload-opne"]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown scenario 'http-overload-opne'" in stderr
+        assert "did you mean 'http-overload-open'?" in stderr
+
+    def test_typo_rejected_before_other_targets_run(self, capsys):
+        assert main(["e1", "--quick", "--scenario", "nonsense"]) == 2
+        assert "unknown scenario 'nonsense'" in capsys.readouterr().err
+
+    def test_single_scenario_runs_and_writes_schema_valid_json(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_scenarios.json"
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline",
+            "--output", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "http-closed-baseline" in stdout
+        document = results_io.load_results(out)
+        assert list(document["scenarios"]) == ["http-closed-baseline"]
+
+
+class TestBaselineFlag:
+    def test_regression_exits_1(self, tmp_path, capsys):
+        out = tmp_path / "now.json"
+        assert main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline", "--output", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        entry = document["scenarios"]["http-closed-baseline"]
+        entry["throughput"] *= 2.0  # fake a faster past
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(document))
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline",
+            "--output", str(out), "--baseline", str(baseline_path),
+        ])
+        assert code == 1
+        stderr = capsys.readouterr().err
+        assert "PERF REGRESSION" in stderr
+        # ~50%: the doctored baseline is 2x this run's throughput
+        assert "throughput dropped 5" in stderr
+
+    def test_filtered_run_against_full_baseline_is_green(
+        self, tmp_path, capsys
+    ):
+        """--scenario + --baseline must not read the unselected matrix
+        entries as vanished coverage."""
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).parent.parent
+            / "benchmarks" / "baseline_scenarios.json"
+        )
+        out = tmp_path / "now.json"
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-overload-closed",
+            "--output", str(out),
+            "--baseline", str(baseline),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "no perf regressions" in captured.out
+
+    def test_quick_mismatch_is_a_usage_error(self, tmp_path, capsys):
+        out = tmp_path / "now.json"
+        assert main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline", "--output", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        document["quick"] = False
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(document))
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline",
+            "--output", str(out), "--baseline", str(baseline_path),
+        ])
+        assert code == 2
+        assert "like-for-like" in capsys.readouterr().err

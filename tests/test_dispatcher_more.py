@@ -2,7 +2,6 @@
 
 from repro.runtime.costs import GRAPH_BUILD_US, GRAPH_RECYCLE_US
 from repro.runtime.dispatcher import DispatcherTask, GraphDispatcher
-from repro.sim.engine import Engine
 
 
 class _FakeGraph:

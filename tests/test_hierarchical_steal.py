@@ -26,7 +26,7 @@ from repro.net.stackprofiles import (
     CoreTopology,
 )
 from repro.runtime.costs import STEAL_US
-from repro.runtime.policy import NumaPolicy, make_policy
+from repro.runtime.policy import NumaPolicy
 from repro.runtime.scheduler import Scheduler, TaskBase
 from repro.sim.engine import Engine
 

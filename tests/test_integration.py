@@ -1,7 +1,6 @@
 """End-to-end integration tests: the three use cases through the full
 platform (compiled FLICK programs, codecs, scheduler, simulated TCP)."""
 
-import pytest
 
 from repro.apps import hadoop_agg, http_lb, memcached_proxy
 from repro.core.units import GBPS

@@ -1,0 +1,307 @@
+"""Scenario matrix + machine-readable results writer/comparison tests."""
+
+import json
+
+import pytest
+
+from repro.bench import results as results_io
+from repro.bench.scenarios import (
+    APP_ENDPOINTS,
+    SCENARIOS,
+    Scenario,
+    resolve_scenario_selection,
+    run_scenario,
+)
+from repro.core.errors import ConfigError
+
+
+class TestMatrixShape:
+    def test_covers_all_three_apps(self):
+        assert {s.app for s in SCENARIOS} == set(APP_ENDPOINTS)
+
+    def test_covers_at_least_three_arrival_processes(self):
+        arrivals = {s.arrival for s in SCENARIOS if s.arrival is not None}
+        assert arrivals >= {"poisson", "bursty", "ramp", "replay"}
+
+    def test_has_the_open_closed_overload_pair(self):
+        by_name = {s.name: s for s in SCENARIOS}
+        open_, closed = (
+            by_name["http-overload-open"], by_name["http-overload-closed"],
+        )
+        # same middlebox, pool, volume and SLO — only the loop differs
+        assert open_.arrival is not None and closed.arrival is None
+        assert open_.slo_ms == closed.slo_ms is not None
+        assert open_.connections == closed.connections
+        assert open_.requests == closed.requests
+        assert open_.cores == closed.cores
+
+    def test_names_are_unique(self):
+        names = [s.name for s in SCENARIOS]
+        assert len(names) == len(set(names))
+
+
+class TestSelection:
+    def test_all_selects_the_whole_matrix(self):
+        assert resolve_scenario_selection("all") == SCENARIOS
+
+    def test_comma_list_preserves_request_order(self):
+        picked = resolve_scenario_selection(
+            "http-open-poisson,http-closed-baseline"
+        )
+        assert [s.name for s in picked] == [
+            "http-open-poisson", "http-closed-baseline",
+        ]
+
+    def test_duplicate_names_run_once(self):
+        picked = resolve_scenario_selection(
+            "http-open-poisson,http-open-poisson"
+        )
+        assert [s.name for s in picked] == ["http-open-poisson"]
+
+    def test_unknown_name_gets_near_miss_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_scenario_selection("http-overload-opne")
+        assert "unknown scenario 'http-overload-opne'" in str(excinfo.value)
+        assert "did you mean 'http-overload-open'?" in str(excinfo.value)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigError, match="selects no scenarios"):
+            resolve_scenario_selection(", ,")
+
+
+class TestRunner:
+    def test_unknown_app_rejected(self):
+        bogus = Scenario(name="x", app="quic_proxy", arrival=None)
+        with pytest.raises(ConfigError, match="unknown app"):
+            run_scenario(bogus)
+
+    def test_hadoop_rejects_fields_its_testbed_ignores(self):
+        # silently dropping these would let the entry report a config
+        # that never ran
+        with pytest.raises(ConfigError, match="does not support"):
+            run_scenario(Scenario(
+                name="x", app="hadoop_agg", arrival=None,
+                service_classes=("mappers=gold:1000",),
+            ))
+        with pytest.raises(ConfigError, match="does not support"):
+            run_scenario(Scenario(
+                name="x", app="hadoop_agg", arrival=None, slo_ms=2.0,
+            ))
+
+    def test_mode_is_http_only(self):
+        with pytest.raises(ConfigError, match="http_lb-only"):
+            run_scenario(Scenario(
+                name="x", app="memcached_proxy", arrival=None, mode="web",
+            ))
+
+    def test_entry_schema(self):
+        scenario = Scenario(
+            name="tiny", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            connections=16, requests=256, slo_ms=2.0, cores=4,
+        )
+        entry = run_scenario(scenario, quick=True)
+        assert entry["app"] == "http_lb"
+        assert entry["arrival"].startswith("poisson")
+        assert entry["offered"] == entry["completed"] == 256
+        # open loop has no warmup window: every request is measured
+        assert entry["measured"] == 256
+        assert entry["throughput"] > 0
+        assert set(entry["latency_ms"]) == {"mean", "p50", "p99", "max"}
+        assert entry["slo"]["misses"] == entry["slo"]["miss_rate"] * 256
+        assert "default" in entry["classes"]
+        assert entry["steals"]["steals"] >= 0
+        assert set(entry["arrival_gaps_us"]) == {"mean", "p50", "p99"}
+
+    def test_open_loop_overload_misses_slo_where_closed_loop_cannot(self):
+        """The acceptance pair: open-loop makes overload observable."""
+        by_name = {s.name: s for s in SCENARIOS}
+        open_entry = run_scenario(by_name["http-overload-open"], quick=True)
+        closed_entry = run_scenario(
+            by_name["http-overload-closed"], quick=True
+        )
+        assert open_entry["slo"]["misses"] > 0
+        assert closed_entry["slo"]["misses"] == 0
+        # the closed loop self-throttled: its p99 never saw the backlog
+        assert (
+            open_entry["latency_ms"]["p99"]
+            > 2 * closed_entry["latency_ms"]["p99"]
+        )
+
+    def test_service_classes_thread_through_to_accounting(self):
+        scenario = Scenario(
+            name="classed", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            service_classes=("client=gold:2000@2",),
+            connections=16, requests=256, slo_ms=2.0, cores=4,
+        )
+        entry = run_scenario(scenario, quick=True)
+        assert "gold" in entry["classes"]
+
+    def test_runs_are_order_independent(self):
+        """A scenario's numbers must not depend on what ran before it
+        in the same process (else a --scenario-filtered run could not
+        be gated against the full-matrix baseline)."""
+        scenario = Scenario(
+            name="tiny", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            connections=16, requests=256, slo_ms=2.0, cores=4,
+        )
+        first = run_scenario(scenario, quick=True)
+        # pollute the global task-id counter with an unrelated run
+        run_scenario(
+            Scenario(name="other", app="http_lb", arrival=None,
+                     connections=8, requests=256, slo_ms=2.0, cores=2),
+            quick=True,
+        )
+        assert run_scenario(scenario, quick=True) == first
+
+    def test_hadoop_scenario_runs_with_paced_mappers(self):
+        scenario = Scenario(
+            name="h", app="hadoop_agg", arrival="ramp",
+            arrival_params=(
+                ("start_rps", 100.0), ("end_rps", 1000.0),
+                ("duration_us", 20_000.0),
+            ),
+            cores=2,
+        )
+        entry = run_scenario(scenario, quick=True)
+        assert entry["throughput_unit"] == "Mb/s"
+        assert entry["throughput"] > 0
+
+
+class TestResultsDocument:
+    def _doc(self, **scenarios):
+        return results_io.results_document(scenarios, quick=True)
+
+    def _entry(self, throughput=100.0, p99=1.0):
+        return {
+            "throughput": throughput,
+            "latency_ms": {"mean": p99 / 2, "p50": p99 / 2, "p99": p99,
+                           "max": p99 * 2},
+        }
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_scenarios.json"
+        document = self._doc(a=self._entry())
+        results_io.write_results(path, document)
+        assert results_io.load_results(path) == document
+
+    def test_written_document_is_stable_text(self, tmp_path):
+        path = tmp_path / "r.json"
+        results_io.write_results(path, self._doc(a=self._entry()))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            json.loads(text), indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        document = self._doc(a=self._entry())
+        document["schema_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(ConfigError, match="schema_version"):
+            results_io.load_results(path)
+
+    def test_malformed_documents_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("not json {")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            results_io.load_results(path)
+        with pytest.raises(ConfigError, match="cannot read"):
+            results_io.load_results(tmp_path / "missing.json")
+        with pytest.raises(ConfigError, match="lacks 'throughput'"):
+            results_io.validate_document(
+                self._doc(a={"latency_ms": {}})
+            )
+
+
+class TestBaselineComparison:
+    def _docs(self, base_thr=100.0, now_thr=100.0, base_p99=1.0, now_p99=1.0):
+        def doc(thr, p99):
+            return results_io.results_document(
+                {"s": {"throughput": thr,
+                       "latency_ms": {"p99": p99}}},
+                quick=True,
+            )
+        return doc(now_thr, now_p99), doc(base_thr, base_p99)
+
+    def test_green_when_within_limits(self):
+        current, baseline = self._docs(now_thr=95.0, now_p99=1.1)
+        assert results_io.compare_to_baseline(current, baseline) == []
+
+    def test_exactly_at_the_limit_is_not_a_regression(self):
+        current, baseline = self._docs(now_thr=90.0, now_p99=1.15)
+        assert results_io.compare_to_baseline(current, baseline) == []
+
+    def test_throughput_drop_flagged(self):
+        current, baseline = self._docs(now_thr=80.0)
+        (regression,) = results_io.compare_to_baseline(current, baseline)
+        assert regression.metric == "throughput"
+        assert "dropped 20.0%" in str(regression)
+
+    def test_p99_rise_flagged(self):
+        current, baseline = self._docs(now_p99=1.5)
+        (regression,) = results_io.compare_to_baseline(current, baseline)
+        assert regression.metric == "p99_latency"
+        assert "rose 50.0%" in str(regression)
+
+    def test_custom_limits_respected(self):
+        current, baseline = self._docs(now_thr=95.0)
+        regressions = results_io.compare_to_baseline(
+            current, baseline, max_throughput_drop_pct=2.0
+        )
+        assert [r.metric for r in regressions] == ["throughput"]
+
+    def test_scenario_missing_from_current_is_a_coverage_regression(self):
+        current = results_io.results_document({}, quick=True)
+        _, baseline = self._docs()
+        (regression,) = results_io.compare_to_baseline(current, baseline)
+        assert regression.metric == "coverage"
+        assert "missing from this run" in str(regression)
+
+    def test_restrict_to_skips_unselected_baseline_scenarios(self):
+        # a filtered run omits the rest of the matrix on purpose
+        current = results_io.results_document(
+            {"s": {"throughput": 100.0, "latency_ms": {"p99": 1.0}}},
+            quick=True,
+        )
+        baseline = results_io.results_document(
+            {"s": {"throughput": 100.0, "latency_ms": {"p99": 1.0}},
+             "unselected": {"throughput": 50.0,
+                            "latency_ms": {"p99": 9.0}}},
+            quick=True,
+        )
+        assert results_io.compare_to_baseline(baseline, baseline) == []
+        assert (
+            results_io.compare_to_baseline(
+                current, baseline, restrict_to=["s"]
+            )
+            == []
+        )
+        # without the restriction the same comparison flags coverage
+        (regression,) = results_io.compare_to_baseline(current, baseline)
+        assert regression.metric == "coverage"
+
+    def test_scenario_new_in_current_passes(self):
+        current, _ = self._docs()
+        baseline = results_io.results_document({}, quick=True)
+        assert results_io.compare_to_baseline(current, baseline) == []
+
+    def test_zero_baseline_values_never_flag(self):
+        current, baseline = self._docs(base_thr=0.0, base_p99=0.0,
+                                       now_thr=0.0, now_p99=5.0)
+        assert results_io.compare_to_baseline(current, baseline) == []
+
+    def test_committed_baseline_is_schema_valid(self):
+        from pathlib import Path
+
+        document = results_io.load_results(
+            Path(__file__).parent.parent
+            / "benchmarks" / "baseline_scenarios.json"
+        )
+        assert document["quick"] is True
+        assert {e["app"] for e in document["scenarios"].values()} == set(
+            APP_ENDPOINTS
+        )
