@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Microbenchmark: interpreter vs compiled tier on the handler hot path.
+
+Measures handler invocations (and FLICK abstract ops) per wall-clock
+second for the per-request rule handlers of the three application
+programs, exactly as the runtime drives them: through
+``build_rule_handler`` with bound contexts, stub channels and
+pre-synthesised request records.  Both tiers charge bit-identical op
+counts, so the ops/sec ratio equals the calls/sec ratio.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_exec_tier.py``.
+Exits non-zero if any workload's compiled tier is below the required
+speedup (default 3x) so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+import time
+
+from repro.apps.hadoop_agg import HADOOP_SOURCE
+from repro.apps.http_lb import HTTP_LB_SOURCE, STATIC_WEB_SOURCE
+from repro.apps.memcached_proxy import CACHE_ROUTER_SOURCE
+from repro.lang import types as ty
+from repro.lang.compiler import build_rule_handler, compile_source
+from repro.lang.values import Record
+
+WORKLOADS = (
+    ("static-web", STATIC_WEB_SOURCE),
+    ("http-lb", HTTP_LB_SOURCE),
+    ("cache-router", CACHE_ROUTER_SOURCE),
+)
+
+
+class _NullChannel:
+    """Discards sends; keeps the sink out of the measurement."""
+
+    __slots__ = ()
+
+    def send(self, value):
+        pass
+
+
+def _synth(t, counter, depth=0):
+    t = ty.strip_ref(t)
+    if isinstance(t, ty.IntType):
+        return next(counter) % 13
+    if isinstance(t, ty.StringType):
+        return f"k{next(counter) % 8}"
+    if isinstance(t, ty.BoolType):
+        return next(counter) % 2 == 0
+    if isinstance(t, ty.RecordType):
+        return Record(
+            t.name,
+            {name: _synth(ft, counter, depth + 1) for name, ft in t.fields},
+        )
+    if isinstance(t, ty.DictMapType):
+        if depth > 2:
+            return {}
+        return {
+            _synth(t.key, counter, depth + 1): _synth(t.value, counter, depth + 1)
+            for _ in range(2)
+        }
+    if isinstance(t, ty.ListSeqType):
+        return [_synth(t.element, counter, depth + 1) for _ in range(3)]
+    if isinstance(t, ty.ChannelEndType):
+        return [_NullChannel() for _ in range(4)] if t.is_array else _NullChannel()
+    return None
+
+
+def _handler_cases(program, tier):
+    """(handler, message pool) for every record-typed rule in the program."""
+    cases = []
+    checked = program.checked
+    interp = program.executor("interp")
+    for pname in sorted(program.procs):
+        spec = program.procs[pname]
+        context = {}
+        for param_name, ptype in checked.proc_params[pname]:
+            context[param_name] = _synth(ptype, itertools.count(1))
+        for gname, init in spec.globals:
+            context[gname] = interp.eval_const(init)
+        for rule in spec.rules:
+            read_type = spec.endpoint(rule.source).read_type
+            record_type = checked.records.get(read_type) if read_type else None
+            if record_type is None:
+                continue
+            handler = build_rule_handler(program, rule, dict(context), tier)
+            counter = itertools.count(3)
+            pool = [_synth(record_type, counter) for _ in range(16)]
+            cases.append((handler, pool))
+    return cases
+
+
+def _measure(source, tier, calls):
+    program = compile_source(source)
+    cases = _handler_cases(program, tier)
+    if not cases:
+        raise SystemExit("workload has no record-typed rules to benchmark")
+    # Pre-expand the round-robin schedule so the timed loop is nothing
+    # but handler invocations (same harness cost for both tiers).
+    plan = [
+        (cases[i % len(cases)][0],
+         cases[i % len(cases)][1][i % 16])
+        for i in range(calls)
+    ]
+
+    def drive(schedule):
+        total_ops = 0
+        for handler, message in schedule:
+            total_ops += handler(message)
+        return total_ops
+
+    drive(plan[: max(500, calls // 10)])  # warmup (also triggers codegen)
+    start = time.perf_counter()
+    ops = drive(plan)
+    elapsed = time.perf_counter() - start
+    return calls / elapsed, ops / elapsed, ops / calls
+
+
+def _measure_foldt(tier, calls):
+    """hadoop-agg's per-record work is the foldt combine, not a rule."""
+    from repro.lang.compiler import build_foldt_handler
+
+    program = compile_source(HADOOP_SOURCE)
+    plan = program.procs["hadoop"].foldt
+    handler = build_foldt_handler(program, plan, tier)
+    pool = [
+        Record("kv", {"key": f"k{i % 8}", "value": str(i % 23)})
+        for i in range(16)
+    ]
+
+    def drive(n):
+        total_ops = 0
+        for i in range(n):
+            _, ops = handler.combine_with_ops(pool[i % 16], pool[(i + 1) % 16])
+            total_ops += ops
+        return total_ops
+
+    drive(max(500, calls // 10))
+    start = time.perf_counter()
+    ops = drive(calls)
+    elapsed = time.perf_counter() - start
+    return calls / elapsed, ops / elapsed, ops / calls
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--calls", type=int, default=20_000,
+                        help="timed handler invocations per workload/tier")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail if any workload speeds up less than this")
+    args = parser.parse_args(argv)
+
+    print(f"{'workload':<14} {'tier':<9} {'calls/s':>12} {'ops/s':>14} "
+          f"{'ops/call':>9}")
+    failures = []
+    measurements = [
+        (name, lambda tier, source=source: _measure(source, tier, args.calls))
+        for name, source in WORKLOADS
+    ]
+    measurements.append(
+        ("hadoop-foldt", lambda tier: _measure_foldt(tier, args.calls))
+    )
+    for name, measure in measurements:
+        rates = {}
+        for tier in ("interp", "compiled"):
+            calls_s, ops_s, ops_per_call = measure(tier)
+            rates[tier] = ops_s
+            print(f"{name:<14} {tier:<9} {calls_s:>12,.0f} {ops_s:>14,.0f} "
+                  f"{ops_per_call:>9.1f}")
+        speedup = rates["compiled"] / rates["interp"]
+        print(f"{name:<14} {'speedup':<9} {speedup:>11.2f}x")
+        if speedup < args.min_speedup:
+            failures.append((name, speedup))
+
+    if failures:
+        for name, speedup in failures:
+            print(f"FAIL: {name} speedup {speedup:.2f}x "
+                  f"< required {args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    print(f"all workloads >= {args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

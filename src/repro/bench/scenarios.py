@@ -263,12 +263,19 @@ def _validate_scenario(scenario: Scenario) -> None:
         )
 
 
-def run_scenario(scenario: Scenario, quick: bool = False) -> dict:
+def run_scenario(
+    scenario: Scenario, quick: bool = False, exec_tier: str = "compiled"
+) -> dict:
     """Run one scenario; return its JSON-ready result dict.
 
     ``quick`` quarters the request volume (CI smoke sizes) — the
     committed baseline is generated with the same flag, so gate
     comparisons are like-for-like (enforced via the document envelope).
+
+    ``exec_tier`` selects the handler execution backend.  It is
+    deliberately *not* recorded in the result: both tiers must produce
+    byte-identical results (all costs are modeled), and the golden-parity
+    CI leg re-runs the matrix under ``interp`` to prove it.
     """
     _validate_scenario(scenario)
     requests = max(256, scenario.requests // 4) if quick else scenario.requests
@@ -291,6 +298,7 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> dict:
         policy=scenario.policy,
         topology=scenario.topology,
         slo_us=slo_us,
+        exec_tier=exec_tier,
     )
     # Scoped task ids, exactly as the fig7 sweep does: a scenario's
     # numbers must not depend on which scenarios ran before it in this
@@ -387,10 +395,12 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> dict:
 
 
 def run_scenario_matrix(
-    scenarios: Sequence[Scenario], quick: bool = False
+    scenarios: Sequence[Scenario],
+    quick: bool = False,
+    exec_tier: str = "compiled",
 ) -> Dict[str, dict]:
     """Run ``scenarios`` in order; map name → JSON-ready result."""
     return {
-        scenario.name: run_scenario(scenario, quick=quick)
+        scenario.name: run_scenario(scenario, quick=quick, exec_tier=exec_tier)
         for scenario in scenarios
     }

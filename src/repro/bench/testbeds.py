@@ -148,6 +148,7 @@ def run_http_experiment(
     arrival=None,
     total_requests: Optional[int] = None,
     seed: int = 0xF11C,
+    exec_tier: str = "compiled",
 ) -> RunResult:
     """One data point of Figure 4 (mode='lb') or the §6.3 web test
     (mode='web').
@@ -190,6 +191,7 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             topology=topology,
             service_classes=service_classes,
             slo_us=slo_us,
+            exec_tier=exec_tier,
         )
         platform = FlickPlatform(
             engine, tcpnet, mbox, config, http_lb.http_codec_registry()
@@ -291,6 +293,7 @@ def run_memcached_experiment(
     arrival=None,
     total_requests: Optional[int] = None,
     seed: int = 0xF11C,
+    exec_tier: str = "compiled",
 ) -> RunResult:
     """One data point of Figure 5 (or the parser/cache ablations).
 
@@ -322,6 +325,7 @@ def run_memcached_experiment(
             topology=topology,
             service_classes=service_classes,
             slo_us=slo_us,
+            exec_tier=exec_tier,
         )
         platform = FlickPlatform(
             engine,
@@ -423,6 +427,7 @@ def run_hadoop_experiment(
     slo_us: Optional[float] = None,
     arrival=None,
     seed: int = 0xF11C,
+    exec_tier: str = "compiled",
 ) -> RunResult:
     """One data point of Figure 6: aggregate ingress throughput (Mb/s).
 
@@ -456,6 +461,7 @@ def run_hadoop_experiment(
             policy="cooperative" if policy is None else policy,
             topology=topology,
             slo_us=slo_us,
+            exec_tier=exec_tier,
         ),
         hadoop_agg.hadoop_codec_registry(),
     )

@@ -1,6 +1,12 @@
 """The FLICK language front end: lexer, parser, checkers and compiler."""
 
+from repro.lang.codegen import (
+    CompiledExec,
+    CompiledFoldTHandler,
+    CompiledRuleHandler,
+)
 from repro.lang.compiler import (
+    EXEC_TIERS,
     CompiledProgram,
     EndpointSpec,
     FoldTHandler,
@@ -9,6 +15,8 @@ from repro.lang.compiler import (
     RuleHandler,
     RuleSpec,
     StageSpec,
+    build_foldt_handler,
+    build_rule_handler,
     compile_program,
     compile_source,
 )
@@ -21,7 +29,11 @@ from repro.lang.typecheck import CheckedProgram, check_program
 from repro.lang.values import Record, record_size_bytes
 
 __all__ = [
+    "EXEC_TIERS",
+    "CompiledExec",
+    "CompiledFoldTHandler",
     "CompiledProgram",
+    "CompiledRuleHandler",
     "EndpointSpec",
     "FoldTHandler",
     "FoldTPlan",
@@ -29,6 +41,8 @@ __all__ = [
     "RuleHandler",
     "RuleSpec",
     "StageSpec",
+    "build_foldt_handler",
+    "build_rule_handler",
     "compile_program",
     "compile_source",
     "Interpreter",

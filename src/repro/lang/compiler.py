@@ -23,7 +23,7 @@ operation counts for virtual-time charging.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import FlickError, FlickTypeError
 from repro.lang import ast
@@ -33,6 +33,18 @@ from repro.lang.parser import parse
 from repro.lang.termination import TerminationReport, check_termination
 from repro.lang.typecheck import CheckedProgram, check_program
 from repro.lang.values import Record
+
+if TYPE_CHECKING:
+    from repro.lang.codegen import (
+        CompiledExec,
+        CompiledFoldTHandler,
+        CompiledRuleHandler,
+    )
+
+#: Execution tiers for handler bodies: the AST-walking interpreter (the
+#: semantic oracle) and the generated-Python compiled tier that must
+#: match it bit-for-bit on values and op counts.
+EXEC_TIERS: Tuple[str, ...] = ("interp", "compiled")
 
 
 @dataclass(frozen=True)
@@ -103,16 +115,42 @@ class ProcSpec:
 
 @dataclass
 class CompiledProgram:
-    """A fully checked and lowered FLICK program."""
+    """A fully checked and lowered FLICK program.
+
+    ``interpreter`` is lazily initialised: callers normally pass nothing
+    and ``__post_init__`` materialises the oracle interpreter; the
+    ``Optional`` annotation makes that explicit (the field is only
+    ``None`` between field assignment and ``__post_init__``).  The
+    compiled execution tier is built even more lazily — the first
+    ``executor("compiled")`` call triggers code generation.
+    """
 
     checked: CheckedProgram
     termination: TerminationReport
     procs: Dict[str, ProcSpec]
-    interpreter: Interpreter = field(repr=False, default=None)
+    interpreter: Optional[Interpreter] = field(repr=False, default=None)
 
     def __post_init__(self):
         if self.interpreter is None:
             self.interpreter = Interpreter(self.checked)
+        # Not a dataclass field: purely a cache, invisible to repr/eq.
+        self._codegen: Optional["CompiledExec"] = None
+
+    def executor(self, tier: str = "interp") -> Union[Interpreter, "CompiledExec"]:
+        """The execution backend for ``tier`` (see :data:`EXEC_TIERS`)."""
+        if tier == "interp":
+            return self.interpreter
+        if tier == "compiled":
+            if self._codegen is None:
+                # Imported lazily: codegen is only needed when the
+                # compiled tier is actually selected.
+                from repro.lang.codegen import CompiledExec
+
+                self._codegen = CompiledExec(self.checked)
+            return self._codegen
+        raise FlickError(
+            f"unknown exec tier {tier!r}; expected one of {EXEC_TIERS}"
+        )
 
     def proc(self, name: str) -> ProcSpec:
         try:
@@ -370,6 +408,36 @@ class FoldTHandler:
         self._interp.reset_ops()
         merged = self._interp.combine(self._plan.expr, left, right)
         return merged, self._interp.reset_ops() + 1
+
+
+def build_rule_handler(
+    program: CompiledProgram,
+    rule: RuleSpec,
+    context: Dict[str, object],
+    tier: str = "interp",
+) -> Union[RuleHandler, "CompiledRuleHandler"]:
+    """Construct the rule handler for ``tier``.
+
+    Both tiers share one contract: ``handler(message) -> op_count`` with
+    identical values sent to the sink and bit-identical op counts, so
+    the runtime's virtual-time charging is tier-independent.
+    """
+    if tier == "compiled":
+        return program.executor("compiled").rule_handler(rule, context)
+    executor = program.executor(tier)  # validates the tier name
+    return RuleHandler(rule, executor, context)
+
+
+def build_foldt_handler(
+    program: CompiledProgram,
+    plan: FoldTPlan,
+    tier: str = "interp",
+) -> Union[FoldTHandler, "CompiledFoldTHandler"]:
+    """Construct the foldt merge-tree handler for ``tier``."""
+    if tier == "compiled":
+        return program.executor("compiled").foldt_handler(plan)
+    executor = program.executor(tier)
+    return FoldTHandler(plan, executor)
 
 
 # ---------------------------------------------------------------------------

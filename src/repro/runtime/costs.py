@@ -65,6 +65,13 @@ SchedulingPolicy` instance for custom parameters.
     topology name ('uniform', 'two-socket', 'four-socket'), or ``None``
     for the flat single-socket default; it prices cross-socket steals
     (per interconnect hop) and feeds the 'numa' policy's placement.
+
+    ``exec_tier`` selects how handler bodies execute: 'compiled'
+    (default) runs generated Python from ``repro.lang.codegen``;
+    'interp' runs the AST-walking interpreter, which remains the
+    semantic oracle.  Both tiers produce identical values and identical
+    abstract op counts, so the choice changes wall-clock speed only —
+    never any simulated result.
     """
 
     cores: int = 16
@@ -78,10 +85,16 @@ SchedulingPolicy` instance for custom parameters.
     channel_capacity: int = 4096
     buffer_pool_bytes: int = 64 * 1024 * 1024
     buffer_size: int = 16 * 1024
+    exec_tier: str = "compiled"
 
     def __post_init__(self):
         if self.cores < 1:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.exec_tier not in ("interp", "compiled"):
+            raise ValueError(
+                "exec_tier must be 'interp' or 'compiled', "
+                f"got {self.exec_tier!r}"
+            )
         if self.timeslice_us <= 0:
             raise ValueError("timeslice must be positive")
         if self.slo_us is not None and self.slo_us <= 0:

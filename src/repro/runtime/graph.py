@@ -19,7 +19,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import RuntimeFlickError
-from repro.lang.compiler import CompiledProgram, FoldTHandler, ProcSpec, RuleHandler
+from repro.lang.compiler import (
+    CompiledProgram,
+    ProcSpec,
+    build_foldt_handler,
+    build_rule_handler,
+)
 from repro.lang.values import Record
 from repro.net.stackprofiles import StackProfile
 from repro.runtime.channel import TaskChannel
@@ -278,7 +283,7 @@ class TaskGraph:
 
         # Install rule handlers with the completed context; raw-forwarded
         # endpoints bypass the compute task entirely.
-        interp = self.program.interpreter
+        tier = self.config.exec_tier
         for rule in spec.rules:
             if rule.source in self._raw_forward:
                 continue
@@ -290,7 +295,8 @@ class TaskGraph:
                         f"rule sink {rule.sink!r} is not bound"
                     )
             compute.add_handler(
-                rule.source, RuleHandler(rule, interp, handler_context)
+                rule.source,
+                build_rule_handler(self.program, rule, handler_context, tier),
             )
 
     def _outbound_proxy(
@@ -359,7 +365,9 @@ class TaskGraph:
             )
         source_ep = spec.endpoint(plan.source)
         sink_ep = spec.endpoint(plan.sink)
-        handler = FoldTHandler(plan, self.program.interpreter)
+        handler = build_foldt_handler(
+            self.program, plan, self.config.exec_tier
+        )
         if self.bindings.native_foldt is not None:
             key_fn, combine_fn = self.bindings.native_foldt
         else:

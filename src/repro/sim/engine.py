@@ -6,6 +6,12 @@ engine's virtual clock.  It is deliberately small and deterministic:
 
 * a binary heap of ``(time, seq, callback)`` events — ``seq`` breaks ties
   so same-time events fire in schedule order, making runs reproducible;
+* a same-tick FIFO ready queue: zero-delay schedules (the dominant case —
+  every ``Event.trigger``/``add_callback`` funnels through
+  ``schedule(0.0, ...)``) skip the heap entirely.  Entries still carry
+  the shared ``seq`` counter, and the run loop pops the global
+  ``(time, seq)`` minimum across queue and heap, so the firing order is
+  exactly what a single heap would produce;
 * generator-based **processes**: a process is a Python generator that
   yields :class:`Timeout` or :class:`Event` objects and is resumed when
   they fire (the idiom used by client workloads and worker loops);
@@ -18,7 +24,8 @@ No wall-clock time is involved anywhere; ``engine.now`` is the only clock.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
 
@@ -106,6 +113,7 @@ class Engine:
     def __init__(self):
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._ready: Deque[Tuple[float, int, Callable, tuple]] = deque()
         self._seq = 0
         self._running = False
 
@@ -115,9 +123,15 @@ class Engine:
         """Run ``callback(*args)`` after ``delay`` µs of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past ({delay})")
-        heapq.heappush(
-            self._heap, (self.now + delay, self._seq, callback, args)
-        )
+        if delay == 0:
+            # Same-tick fast path: no heap traffic.  Time never moves
+            # backwards, so appended entries are (time, seq)-sorted and a
+            # FIFO preserves the heap's total order.
+            self._ready.append((self.now, self._seq, callback, args))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, self._seq, callback, args)
+            )
         self._seq += 1
 
     def at(self, when: float, callback: Callable, *args) -> None:
@@ -145,12 +159,24 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                when, _, callback, args = self._heap[0]
-                if until is not None and when > until:
-                    self.now = until
-                    return self.now
-                heapq.heappop(self._heap)
+            heap = self._heap
+            ready = self._ready
+            while heap or ready:
+                # Pop the global (time, seq) minimum.  Both queues hold
+                # entries keyed by the shared seq counter, so this merge
+                # reproduces the single-heap firing order exactly.
+                if ready and (not heap or ready[0][:2] < heap[0][:2]):
+                    when = ready[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return self.now
+                    _, _, callback, args = ready.popleft()
+                else:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return self.now
+                    _, _, callback, args = heapq.heappop(heap)
                 self.now = when
                 callback(*args)
             if until is not None:
@@ -161,4 +187,4 @@ class Engine:
 
     def pending(self) -> int:
         """Number of scheduled events (for tests/diagnostics)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)

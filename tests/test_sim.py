@@ -114,6 +114,74 @@ class TestEngine:
         assert run_once() == run_once()
 
 
+class TestZeroDelayReadyQueue:
+    """The same-tick FIFO fast path must be indistinguishable from the
+    heap: zero-delay events interleave with delayed ones in exactly the
+    (time, seq) order a single heap would produce."""
+
+    def test_mixed_zero_and_delayed_ordering(self):
+        engine = Engine()
+        seen = []
+
+        def on_a():
+            seen.append("a")
+            engine.schedule(0, seen.append, "c")
+            engine.schedule(5, seen.append, "z")
+
+        engine.schedule(5, seen.append, "x")
+        engine.schedule(0, on_a)
+        engine.schedule(0, seen.append, "b")
+        engine.schedule(5, seen.append, "y")
+        engine.run()
+        # t=0 fires a, b, then a's same-tick child c; t=5 fires x, y
+        # (scheduled before z) in seq order.
+        assert seen == ["a", "b", "c", "x", "y", "z"]
+
+    def test_pending_counts_ready_entries(self):
+        engine = Engine()
+        engine.schedule(0, lambda: None)
+        engine.schedule(0, lambda: None)
+        engine.schedule(10, lambda: None)
+        assert engine.pending() == 3
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_run_until_stops_before_later_heap_event(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0, seen.append, "a")
+        engine.schedule(10, seen.append, "b")
+        assert engine.run(until=5) == 5
+        assert seen == ["a"]
+        assert engine.now == 5
+        assert engine.pending() == 1
+
+    def test_zero_delay_keeps_current_time(self):
+        engine = Engine()
+        stamps = []
+
+        def later():
+            engine.schedule(0, lambda: stamps.append(engine.now))
+
+        engine.schedule(7, later)
+        engine.run()
+        assert stamps == [7]
+
+    def test_event_trigger_goes_through_ready_queue(self):
+        engine = Engine()
+        seen = []
+        event = engine.event()
+        event.add_callback(lambda payload: seen.append(("cb", payload)))
+        engine.schedule(3, event.trigger, 99)
+        engine.schedule(3, seen.append, "after")
+        engine.run()
+        # The trigger's callback is a same-tick *child* of the trigger
+        # (scheduled during it), so everything already queued for the
+        # same timestamp fires first.
+        assert seen == ["after", ("cb", 99)]
+        assert engine.now == 3
+
+
 class TestRateLimiter:
     def test_transmission_time(self):
         rl = RateLimiter(1 * GBPS)
