@@ -14,6 +14,8 @@ Usage::
         --slo-class light=gold:1000@4 --slo-class heavy=bronze:50000
     python -m repro.bench scenarios   # declarative matrix -> BENCH_scenarios.json
     python -m repro.bench scenarios --scenario http-overload-open
+    python -m repro.bench scenarios --scenario http-overload-shed \\
+        --admission shed-bronze --allocator queue-depth
     python -m repro.bench scenarios --quick \\
         --baseline benchmarks/baseline_scenarios.json   # CI perf gate
     python -m repro.bench all --quick # everything, reduced sizes
@@ -59,6 +61,14 @@ from repro.bench.testbeds import (
     run_memcached_experiment,
 )
 from repro.net.stackprofiles import TOPOLOGIES
+from repro.runtime.admission import (
+    registered_admissions,
+    unknown_admission_message,
+)
+from repro.runtime.allocator import (
+    registered_allocators,
+    unknown_allocator_message,
+)
 from repro.runtime.policy import registered_policies
 from repro.runtime.qos import parse_slo_class_specs
 
@@ -188,17 +198,28 @@ def _service_classes(args):
     return parse_slo_class_specs(args.slo_class, valid_endpoints=ENDPOINTS)
 
 
+def _scenario_overrides(args) -> dict:
+    """Pinned-field overrides from ``--allocator`` / ``--admission``."""
+    overrides = {}
+    if getattr(args, "allocator", None) is not None:
+        overrides["allocator"] = args.allocator
+    if getattr(args, "admission", None) is not None:
+        overrides["admission"] = args.admission
+    return overrides
+
+
 def _scenario_output_path(args) -> str:
     """Where the scenarios document goes when ``--output`` is omitted.
 
-    Only a full-matrix, full-size run writes the committed trajectory
-    file ``BENCH_scenarios.json``; quick or filtered runs default to
+    Only a full-matrix, full-size, unmodified run writes the committed
+    trajectory file ``BENCH_scenarios.json``; quick, filtered, or
+    overridden (``--allocator``/``--admission``) runs default to
     ``BENCH_scenarios.quick.json`` so the documented CI-gate command
     cannot silently clobber the repo's full-size trajectory point.
     """
     if args.output is not None:
         return args.output
-    if args.quick or args.scenario != "all":
+    if args.quick or args.scenario != "all" or _scenario_overrides(args):
         return "BENCH_scenarios.quick.json"
     return "BENCH_scenarios.json"
 
@@ -206,9 +227,17 @@ def _scenario_output_path(args) -> str:
 def _scenarios(args) -> int:
     """Run the scenario matrix; write JSON; optionally gate on a baseline."""
     selected = resolve_scenario_selection(args.scenario)
+    overrides = _scenario_overrides(args)
+    if overrides:
+        selected = tuple(
+            scenario._replace(**overrides) for scenario in selected
+        )
+    suffix = "".join(
+        f", {field}={value}" for field, value in sorted(overrides.items())
+    )
     print(
         f"== Scenario matrix ({len(selected)} scenarios"
-        f"{', quick' if args.quick else ''}) =="
+        f"{', quick' if args.quick else ''}{suffix}) =="
     )
     results = run_scenario_matrix(
         selected, quick=args.quick, exec_tier=args.exec_tier
@@ -321,6 +350,23 @@ def main(argv: List[str] = None) -> int:
         "suggestion).",
     )
     parser.add_argument(
+        "--allocator",
+        default=None,
+        metavar="NAME",
+        help="scenarios only: override the core-allocation policy on "
+        "every selected scenario (typos get a near-miss suggestion). "
+        f"Registered: {', '.join(registered_allocators())}.",
+    )
+    parser.add_argument(
+        "--admission",
+        default=None,
+        metavar="NAME",
+        help="scenarios only: override the admission-control policy on "
+        "every selected scenario; only open-loop request/response "
+        "scenarios accept one (typos get a near-miss suggestion). "
+        f"Registered: {', '.join(registered_admissions())}.",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -341,12 +387,23 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        # Reject --policy / --slo-class / --scenario typos up front,
-        # before any (expensive) target runs — not only when the loop
-        # eventually reaches the target that consumes the flag.
+        # Reject --policy / --slo-class / --scenario / --allocator /
+        # --admission typos up front, before any (expensive) target
+        # runs — not only when the loop eventually reaches the target
+        # that consumes the flag.
         resolve_policy_selection(args.policy)
         _service_classes(args)
         resolve_scenario_selection(args.scenario)
+        if (
+            args.allocator is not None
+            and args.allocator not in registered_allocators()
+        ):
+            raise ConfigError(unknown_allocator_message(args.allocator))
+        if (
+            args.admission is not None
+            and args.admission not in registered_admissions()
+        ):
+            raise ConfigError(unknown_admission_message(args.admission))
     except (RuntimeFlickError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -110,6 +110,7 @@ def format_service_class_table(results) -> str:
                     completions,
                     misses,
                     f"{miss_pct:.0f}%",
+                    int(stats.get("shed", 0)),
                     f"{stats.get('mean_ms', 0.0):.2f}",
                     f"{stats.get('p99_ms', 0.0):.2f}",
                 )
@@ -123,6 +124,7 @@ def format_service_class_table(results) -> str:
             "completions",
             "slo_misses",
             "miss_rate",
+            "shed",
             "mean_ms",
             "p99_ms",
         ),
@@ -146,6 +148,7 @@ def format_scenario_table(results: Dict[str, dict]) -> str:
                 f"{latency.get('p50', 0.0):.3f}",
                 f"{latency.get('p99', 0.0):.3f}",
                 slo.get("misses", 0),
+                entry.get("admission", {}).get("shed", 0),
                 entry.get("steals", {}).get("steals", 0),
             )
         )
@@ -160,6 +163,7 @@ def format_scenario_table(results: Dict[str, dict]) -> str:
             "p50_ms",
             "p99_ms",
             "slo_misses",
+            "shed",
             "steals",
         ),
         rows,

@@ -26,8 +26,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.errors import ConfigError
 
 #: Bump when the document layout changes shape (not when scenarios are
-#: added/removed — the comparison handles that).
-SCHEMA_VERSION = 1
+#: added/removed — the comparison handles that).  v2 added the
+#: per-scenario "allocator" section and (on open-loop entries) the
+#: "admission" section with per-class shed counts.
+SCHEMA_VERSION = 2
 
 #: CI gate defaults (ISSUE: fail if throughput drops >10% or p99 rises >15%).
 MAX_THROUGHPUT_DROP_PCT = 10.0
@@ -104,6 +106,8 @@ class Regression:
     current: float
     change_pct: float
     limit_pct: float
+    #: Free-form context for non-numeric violations (field mismatches).
+    detail: str = ""
 
     def __str__(self) -> str:
         if self.metric == "coverage":
@@ -111,6 +115,12 @@ class Regression:
                 f"{self.scenario}: present in the baseline but missing "
                 "from this run (remove it from the baseline to drop it "
                 "deliberately)"
+            )
+        if self.metric == "fields":
+            return (
+                f"{self.scenario}: result fields diverged from the "
+                f"baseline ({self.detail}) — the schema changed, "
+                "regenerate the baseline in the same PR"
             )
         direction = "dropped" if self.metric == "throughput" else "rose"
         return (
@@ -145,6 +155,11 @@ def compare_to_baseline(
     scenario-disappeared coverage check — to the named scenarios: a
     ``--scenario``-filtered run deliberately omits the rest of the
     baseline, which must not read as vanished coverage.
+
+    A scenario whose top-level field set gained or lost keys against
+    the baseline flags a ``fields`` regression: silently ignoring
+    unknown keys would let a schema change (new sections, renamed
+    metrics) slide past the gate with a stale baseline still green.
     """
     regressions: List[Regression] = []
     current_scenarios = current["scenarios"]
@@ -169,6 +184,25 @@ def compare_to_baseline(
             )
             continue
         now = current_scenarios[name]
+        gained = sorted(set(now) - set(base))
+        lost = sorted(set(base) - set(now))
+        if gained or lost:
+            parts = []
+            if gained:
+                parts.append(f"gained: {', '.join(gained)}")
+            if lost:
+                parts.append(f"lost: {', '.join(lost)}")
+            regressions.append(
+                Regression(
+                    scenario=name,
+                    metric="fields",
+                    baseline=float(len(base)),
+                    current=float(len(now)),
+                    change_pct=0.0,
+                    limit_pct=0.0,
+                    detail="; ".join(parts),
+                )
+            )
         base_thr = float(base.get("throughput", 0.0))
         now_thr = float(now.get("throughput", 0.0))
         if base_thr > 0:

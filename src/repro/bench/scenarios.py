@@ -29,6 +29,15 @@ from repro.bench.testbeds import (
     run_http_experiment,
     run_memcached_experiment,
 )
+from repro.runtime.admission import (
+    make_admission,
+    registered_admissions,
+    unknown_admission_message,
+)
+from repro.runtime.allocator import (
+    registered_allocators,
+    unknown_allocator_message,
+)
 from repro.runtime.qos import closest_name, parse_slo_class_specs
 from repro.runtime.scheduler import TaskBase
 from repro.workloads.arrivals import make_arrival
@@ -64,6 +73,15 @@ class Scenario(NamedTuple):
     slo_ms: Optional[float] = None
     #: http_lb only: "lb" (with backends) or "web" (static server).
     mode: str = "lb"
+    #: Registered core-allocator name (``static`` = fixed worker set).
+    allocator: str = "static"
+    #: Registered admission-policy name (open-loop scenarios only).
+    admission: str = "admit-all"
+    #: Parameters for :func:`~repro.runtime.admission.make_admission`.
+    admission_params: Tuple[Tuple[str, object], ...] = ()
+    #: ``((class_name, weight), ...)`` service-class labels applied to
+    #: arrivals by weighted round-robin (open-loop scenarios only).
+    class_mix: Tuple[Tuple[str, float], ...] = ()
 
 
 def _burst_trace(
@@ -128,12 +146,46 @@ SCENARIOS: Tuple[Scenario, ...] = (
         arrival="poisson",
         arrival_params=(("rate_rps", 160_000.0),),
         slo_ms=2.0,
+        class_mix=(("gold", 1.0), ("bronze", 1.0)),
+    ),
+    # The overload-survival headline: identical offered load to
+    # http-overload-open, but bronze arrivals are shed above an
+    # in-flight watermark sized so queueing delay stays inside the SLO —
+    # gold misses stop scaling with run length (startup transient only)
+    # where admit-all's grow without bound.
+    Scenario(
+        name="http-overload-shed",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 160_000.0),),
+        slo_ms=2.0,
+        admission="shed-bronze",
+        admission_params=(("max_inflight", 96),),
+        class_mix=(("gold", 1.0), ("bronze", 1.0)),
     ),
     Scenario(
         name="http-overload-closed",
         app="http_lb",
         arrival=None,
         slo_ms=2.0,
+    ),
+    # Elastic-allocation ramp: offered load sweeps from far below to far
+    # past capacity, so the queue-depth allocator first parks idle
+    # workers and then unparks them back up to the full core count —
+    # both directions land in the alloc log and the pinned worker-count
+    # envelope.
+    Scenario(
+        name="http-ramp-elastic",
+        app="http_lb",
+        mode="web",
+        arrival="ramp",
+        arrival_params=(
+            ("start_rps", 10_000.0),
+            ("end_rps", 250_000.0),
+            ("duration_us", 30_000.0),
+        ),
+        slo_ms=2.0,
+        allocator="queue-depth",
     ),
     Scenario(
         name="http-open-numa-classes",
@@ -261,6 +313,33 @@ def _validate_scenario(scenario: Scenario) -> None:
             f"scenario {scenario.name!r}: mode={scenario.mode!r} is an "
             "http_lb-only field"
         )
+    if scenario.allocator not in registered_allocators():
+        raise ConfigError(
+            f"scenario {scenario.name!r}: "
+            + unknown_allocator_message(scenario.allocator)
+        )
+    if scenario.admission not in registered_admissions():
+        raise ConfigError(
+            f"scenario {scenario.name!r}: "
+            + unknown_admission_message(scenario.admission)
+        )
+    # Admission control gates open-loop arrivals; everywhere else the
+    # fields would be silently dropped, pinning numbers under a config
+    # that never ran (same rule as hadoop's service_classes above).
+    uses_admission = (
+        scenario.admission != "admit-all"
+        or bool(scenario.admission_params)
+        or bool(scenario.class_mix)
+    )
+    if uses_admission and (
+        scenario.arrival is None or scenario.app == "hadoop_agg"
+    ):
+        raise ConfigError(
+            f"scenario {scenario.name!r}: admission control and "
+            "class_mix need an open-loop arrival process on a "
+            "request/response app (closed-loop clients self-throttle "
+            "and hadoop mapper streams are not per-request workloads)"
+        )
 
 
 def run_scenario(
@@ -293,12 +372,20 @@ def run_scenario(
         else None
     )
     slo_us = scenario.slo_ms * 1000.0 if scenario.slo_ms is not None else None
+    # Closed-loop runs take the plain default so the testbed's "nothing
+    # to shed" guard sees it; open-loop runs get a parameterised instance.
+    admission = (
+        make_admission(scenario.admission, **dict(scenario.admission_params))
+        if scenario.arrival is not None and scenario.app != "hadoop_agg"
+        else "admit-all"
+    )
 
     common = dict(
         policy=scenario.policy,
         topology=scenario.topology,
         slo_us=slo_us,
         exec_tier=exec_tier,
+        allocator=scenario.allocator,
     )
     # Scoped task ids, exactly as the fig7 sweep does: a scenario's
     # numbers must not depend on which scenarios ran before it in this
@@ -317,6 +404,8 @@ def run_scenario(
                 service_classes=class_map,
                 arrival=arrival,
                 total_requests=requests,
+                admission=admission,
+                class_mix=scenario.class_mix,
                 **common,
             )
             unit = "kreq/s"
@@ -329,6 +418,8 @@ def run_scenario(
                 service_classes=class_map,
                 arrival=arrival,
                 total_requests=requests,
+                admission=admission,
+                class_mix=scenario.class_mix,
                 **common,
             )
             unit = "kreq/s"
@@ -384,7 +475,27 @@ def run_scenario(
             "stolen_tasks": int(extra.get("stolen_tasks", 0)),
             "steal_us": extra.get("steal_us", 0.0),
         },
+        "allocator": {
+            "name": scenario.allocator,
+            "changes": int(extra.get("alloc_changes", 0)),
+            "moved_tasks": int(extra.get("alloc_moved_tasks", 0)),
+            "active_workers": {
+                "min": int(extra.get("active_workers_min", scenario.cores)),
+                "max": int(extra.get("active_workers_max", scenario.cores)),
+                "final": int(
+                    extra.get("active_workers_final", scenario.cores)
+                ),
+            },
+        },
     }
+    if result.admission_stats:
+        entry["admission"] = {
+            "policy": scenario.admission,
+            "class_mix": {name: w for name, w in scenario.class_mix},
+            "admitted": int(extra.get("admitted", offered)),
+            "shed": int(extra.get("shed", 0)),
+            "per_class": result.admission_stats,
+        }
     if "arrival_gap_mean_us" in extra:
         entry["arrival_gaps_us"] = {
             "mean": extra["arrival_gap_mean_us"],

@@ -56,6 +56,16 @@ def _stack_of(system: str) -> str:
     return "mtcp" if system == "flick-mtcp" else "kernel"
 
 
+def _check_admission_args(arrival, admission, class_mix) -> None:
+    """Admission control needs the open loop: reject it elsewhere."""
+    if arrival is None and (admission != "admit-all" or class_mix):
+        raise ValueError(
+            "admission control and class_mix need an open-loop arrival "
+            "process; closed-loop clients self-throttle, so there is "
+            "nothing to shed"
+        )
+
+
 def _steal_extra(platform: Optional[FlickPlatform]) -> dict:
     """Scheduler steal counters for the result's ``extra`` dict."""
     if platform is None:
@@ -68,16 +78,42 @@ def _steal_extra(platform: Optional[FlickPlatform]) -> dict:
     }
 
 
+def _alloc_extra(platform: Optional[FlickPlatform]) -> dict:
+    """Core-allocator counters for the result's ``extra`` dict.
+
+    ``active_workers_min``/``max`` span the whole run (the initial
+    all-active state included), so a static run reads cores/cores with
+    zero changes.
+    """
+    if platform is None:
+        return {}
+    scheduler = platform.scheduler
+    counts = [scheduler.cores]
+    counts.extend(len(r.active_after) for r in scheduler.alloc_log)
+    return {
+        "alloc_changes": float(len(scheduler.alloc_log)),
+        "alloc_moved_tasks": float(
+            sum(r.moved_tasks for r in scheduler.alloc_log)
+        ),
+        "active_workers_min": float(min(counts)),
+        "active_workers_max": float(max(counts)),
+        "active_workers_final": float(scheduler.active_workers),
+    }
+
+
 def _open_loop_extra(population: OpenLoopClients) -> dict:
     """Client-side latency/SLO/inter-arrival accounting for ``extra``.
 
     ``measured`` is the number of requests the latency/SLO accounting
-    covers — all of them, for the open loop (no warmup window).
+    covers — every *admitted* request, for the open loop (no warmup
+    window); shed requests never enter the latency series.
     """
     latency = population.latency
     gaps = population.inter_arrivals
     return {
         "offered": float(population.offered),
+        "admitted": float(population.admitted),
+        "shed": float(population.shed),
         "completed": float(population.completed),
         "measured": float(latency.count),
         "errors": float(population.errors),
@@ -149,6 +185,9 @@ def run_http_experiment(
     total_requests: Optional[int] = None,
     seed: int = 0xF11C,
     exec_tier: str = "compiled",
+    allocator="static",
+    admission="admit-all",
+    class_mix=(),
 ) -> RunResult:
     """One data point of Figure 4 (mode='lb') or the §6.3 web test
     (mode='web').
@@ -159,12 +198,17 @@ def run_http_experiment(
 OpenLoopClients`: ``concurrency`` becomes the size of the persistent
     connection pool and ``total_requests`` the number of admissions
     (default ``concurrency * requests_per_client``).  ``policy`` /
-    ``topology`` / ``service_classes`` / ``slo_us`` thread straight
-    into the platform's :class:`~repro.runtime.costs.RuntimeConfig`;
-    ``slo_us`` additionally drives client-side SLO-miss accounting.
+    ``topology`` / ``service_classes`` / ``slo_us`` / ``allocator``
+    thread straight into the platform's
+    :class:`~repro.runtime.costs.RuntimeConfig`; ``slo_us``
+    additionally drives client-side SLO-miss accounting.  ``admission``
+    and ``class_mix`` configure the open-loop population's admission
+    control (open loop only — closed-loop clients self-throttle, so
+    there is nothing to shed).
     """
     if mode not in ("lb", "web"):
         raise ValueError(f"unknown mode {mode!r}")
+    _check_admission_args(arrival, admission, class_mix)
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     use_backends = mode == "lb"
     if use_backends:
@@ -192,6 +236,8 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             service_classes=service_classes,
             slo_us=slo_us,
             exec_tier=exec_tier,
+            allocator=allocator,
+            admission=admission,
         )
         platform = FlickPlatform(
             engine, tcpnet, mbox, config, http_lb.http_codec_registry()
@@ -232,6 +278,9 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             connections=concurrency,
             seed=seed,
             slo_us=slo_us,
+            admission=admission,
+            class_mix=class_mix,
+            scoreboard=platform.scoreboard if platform is not None else None,
         )
         extra_of = _open_loop_extra
     else:
@@ -260,6 +309,7 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
         )
     extra = extra_of(population)
     extra.update(_steal_extra(platform))
+    extra.update(_alloc_extra(platform))
     return RunResult(
         system=system,
         x=concurrency,
@@ -268,6 +318,9 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
         extra=extra,
         class_stats=(
             platform.scoreboard.summary() if platform is not None else {}
+        ),
+        admission_stats=(
+            population.admission_summary() if arrival is not None else {}
         ),
     )
 
@@ -294,12 +347,17 @@ def run_memcached_experiment(
     total_requests: Optional[int] = None,
     seed: int = 0xF11C,
     exec_tier: str = "compiled",
+    allocator="static",
+    admission="admit-all",
+    class_mix=(),
 ) -> RunResult:
     """One data point of Figure 5 (or the parser/cache ablations).
 
     ``arrival`` switches the client side to the open-loop population,
-    exactly as in :func:`run_http_experiment`.
+    exactly as in :func:`run_http_experiment`; ``allocator`` /
+    ``admission`` / ``class_mix`` thread the same way.
     """
+    _check_admission_args(arrival, admission, class_mix)
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     filler = b"v" * value_bytes
     backend_servers = [
@@ -326,6 +384,8 @@ def run_memcached_experiment(
             service_classes=service_classes,
             slo_us=slo_us,
             exec_tier=exec_tier,
+            allocator=allocator,
+            admission=admission,
         )
         platform = FlickPlatform(
             engine,
@@ -365,6 +425,9 @@ def run_memcached_experiment(
             connections=concurrency,
             seed=seed,
             slo_us=slo_us,
+            admission=admission,
+            class_mix=class_mix,
+            scoreboard=platform.scoreboard if platform is not None else None,
         )
         extra_of = _open_loop_extra
     else:
@@ -393,6 +456,7 @@ def run_memcached_experiment(
     extra = extra_of(population)
     extra["backend_requests"] = float(backend_hits)
     extra.update(_steal_extra(platform))
+    extra.update(_alloc_extra(platform))
     return RunResult(
         system=system,
         x=cores,
@@ -401,6 +465,9 @@ def run_memcached_experiment(
         extra=extra,
         class_stats=(
             platform.scoreboard.summary() if platform is not None else {}
+        ),
+        admission_stats=(
+            population.admission_summary() if arrival is not None else {}
         ),
     )
 
@@ -428,6 +495,7 @@ def run_hadoop_experiment(
     arrival=None,
     seed: int = 0xF11C,
     exec_tier: str = "compiled",
+    allocator="static",
 ) -> RunResult:
     """One data point of Figure 6: aggregate ingress throughput (Mb/s).
 
@@ -462,6 +530,7 @@ def run_hadoop_experiment(
             topology=topology,
             slo_us=slo_us,
             exec_tier=exec_tier,
+            allocator=allocator,
         ),
         hadoop_agg.hadoop_codec_registry(),
     )
@@ -502,6 +571,7 @@ def run_hadoop_experiment(
         "word_len": float(word_len),
     }
     extra.update(_steal_extra(platform))
+    extra.update(_alloc_extra(platform))
     return RunResult(
         system=f"flick-{stack}",
         x=cores,

@@ -1,0 +1,248 @@
+"""Per-service-class admission control: shed load before it queues.
+
+The second overload-survival policy plane (the first is
+:mod:`repro.runtime.allocator`): string-keyed *admission policies* that
+decide, request by request on the arrival clock, whether an open-loop
+client admits a request into the platform or **sheds** it at the door.
+Shedding is a first-class per-class outcome — every shed is counted by
+the workload generator and mirrored into the platform's
+:class:`~repro.sim.stats.SloScoreboard` (``record_shed``), so it shows
+up next to completions and SLO misses in ``class_stats``, the bench
+report tables and ``BENCH_scenarios.json``.
+
+The mechanism half lives in
+:class:`~repro.workloads.arrivals.OpenLoopClients`: for each arrival it
+builds an :class:`AdmissionRequest` snapshot and asks the policy's
+``admit(request)``; a ``False`` answer drops the request before any
+bytes hit the simulated network, so shed requests cost the platform
+nothing — exactly the point of admission control.
+
+Three policies ship built in: ``admit-all`` (today's behaviour, the
+default), ``shed-bronze`` (threshold shedding: above an in-flight
+watermark only protected classes get in), and ``token-bucket``
+(deterministic per-class token buckets refilled on virtual time).
+Unknown names get near-miss suggestions, mirroring
+:mod:`repro.runtime.policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.qos import closest_name
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """What an admission policy may observe for one arriving request.
+
+    ``inflight`` counts requests admitted but not yet completed across
+    the whole workload (the client-visible congestion signal);
+    ``offered``/``admitted``/``shed`` are the per-run totals so far,
+    *excluding* this request.
+    """
+
+    index: int
+    now_us: float
+    service_class: str
+    inflight: int
+    offered: int
+    admitted: int
+    shed: int
+
+
+class AdmissionPolicy:
+    """Base class; subclasses override :meth:`admit`."""
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        """Whether this arrival enters the platform (``False`` = shed)."""
+        raise NotImplementedError
+
+    def configure(self, config) -> None:
+        """Adopt platform tunables from a ``RuntimeConfig`` (duck-typed)."""
+
+    def reset(self) -> None:
+        """Drop learned state; called when a workload adopts the policy."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+# -- registry ----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[AdmissionPolicy]] = {}
+
+
+def register_admission(cls: Type[AdmissionPolicy]) -> Type[AdmissionPolicy]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    if not cls.name or cls.name == "abstract":
+        raise RuntimeFlickError(
+            f"admission class {cls.__name__} needs a name"
+        )
+    if cls.name in _REGISTRY:
+        raise RuntimeFlickError(
+            f"admission policy {cls.name!r} registered twice"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_admissions() -> tuple:
+    """All registered admission names: ``admit-all`` first, rest sorted."""
+    extras = sorted(name for name in _REGISTRY if name != "admit-all")
+    return ("admit-all",) + tuple(extras)
+
+
+def closest_admission_name(name: str) -> Optional[str]:
+    """The registered name a typo most plausibly meant, or ``None``."""
+    return closest_name(name, _REGISTRY)
+
+
+def unknown_admission_message(name: str) -> str:
+    """Error text for an unregistered admission name, with a near-miss."""
+    message = (
+        f"unknown admission policy {name!r}; registered: "
+        f"{', '.join(sorted(_REGISTRY))}"
+    )
+    suggestion = closest_admission_name(name)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    return message
+
+
+def make_admission(name: str, **kwargs) -> AdmissionPolicy:
+    """Instantiate the registered admission policy ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RuntimeFlickError(unknown_admission_message(name)) from None
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise RuntimeFlickError(
+            f"bad parameters for admission policy {name!r}: {exc}"
+        ) from None
+
+
+def resolve_admission(spec) -> AdmissionPolicy:
+    """Accept an admission name or a ready instance; return an instance."""
+    if isinstance(spec, AdmissionPolicy):
+        return spec
+    if isinstance(spec, str):
+        return make_admission(spec)
+    raise RuntimeFlickError(
+        "admission policy must be a name or AdmissionPolicy, "
+        f"got {type(spec).__name__}"
+    )
+
+
+# -- built-in policies --------------------------------------------------------
+
+
+@register_admission
+class AdmitAll(AdmissionPolicy):
+    """Today's behaviour: every arrival is admitted."""
+
+    name = "admit-all"
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        return True
+
+
+@register_admission
+class ShedBronze(AdmissionPolicy):
+    """Threshold shedding that protects the premium classes.
+
+    While the in-flight count sits at or below ``max_inflight`` every
+    arrival gets in; above it, only the ``protect`` classes are
+    admitted and the rest are shed.  The watermark is the knob that
+    turns an open-loop SLO collapse into bounded premium-class misses:
+    unprotected (bronze) arrivals stop adding queueing delay the moment
+    the platform saturates.
+    """
+
+    name = "shed-bronze"
+
+    def __init__(
+        self,
+        max_inflight: int = 192,
+        protect: Tuple[str, ...] = ("gold",),
+    ):
+        if max_inflight < 1:
+            raise RuntimeFlickError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if not protect:
+            raise RuntimeFlickError(
+                "shed-bronze needs at least one protected class"
+            )
+        self.max_inflight = max_inflight
+        self.protect = tuple(protect)
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        if request.inflight < self.max_inflight:
+            return True
+        return request.service_class in self.protect
+
+
+@register_admission
+class TokenBucket(AdmissionPolicy):
+    """Deterministic per-class token buckets refilled on virtual time.
+
+    Each class refills at ``rate_rps`` tokens per (virtual) second up
+    to a ``burst`` ceiling; an arrival spends one token or is shed.
+    ``rates`` overrides the refill rate for named classes, so a gold
+    class can be provisioned at its offered rate while bronze is capped
+    below it.  All arithmetic runs on the virtual clock, so runs are
+    bit-reproducible.
+    """
+
+    name = "token-bucket"
+
+    def __init__(
+        self,
+        rate_rps: float = 50_000.0,
+        burst: float = 64.0,
+        rates: Optional[Dict[str, float]] = None,
+    ):
+        if rate_rps <= 0:
+            raise RuntimeFlickError(
+                f"token refill rate must be positive, got {rate_rps}"
+            )
+        if burst < 1:
+            raise RuntimeFlickError(f"burst must be >= 1, got {burst}")
+        self.rate_rps = rate_rps
+        self.burst = burst
+        self.rates = dict(rates) if rates else {}
+        for cls_name, rate in self.rates.items():
+            if rate <= 0:
+                raise RuntimeFlickError(
+                    f"token refill rate for class {cls_name!r} must be "
+                    f"positive, got {rate}"
+                )
+        self._tokens: Dict[str, float] = {}
+        self._refilled_at: Dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._tokens.clear()
+        self._refilled_at.clear()
+
+    def admit(self, request: AdmissionRequest) -> bool:
+        cls_name = request.service_class
+        rate_per_us = self.rates.get(cls_name, self.rate_rps) / 1e6
+        tokens = self._tokens.get(cls_name, self.burst)
+        last = self._refilled_at.get(cls_name, request.now_us)
+        tokens = min(
+            self.burst, tokens + (request.now_us - last) * rate_per_us
+        )
+        self._refilled_at[cls_name] = request.now_us
+        if tokens >= 1.0:
+            self._tokens[cls_name] = tokens - 1.0
+            return True
+        self._tokens[cls_name] = tokens
+        return False

@@ -1,0 +1,283 @@
+"""Elastic core allocation: the *policy* half of overload survival.
+
+The platform has always run a fixed worker set, so under sustained
+open-loop overload the only possible outcome is unbounded queueing.
+This module adds the first of two overload-survival policy planes
+(:mod:`repro.runtime.admission` is the other): string-keyed *allocation
+policies* that grow or shrink a scheduler's **active** worker set from
+observed load, following the same policy/mechanism discipline as
+:mod:`repro.runtime.policy` — the mechanism (worker park/unpark,
+queue draining, the :class:`~repro.runtime.scheduler.AllocRecord` log)
+lives in :class:`~repro.runtime.scheduler.Scheduler`; every *decision*
+is delegated to an :class:`AllocationPolicy` through two hooks:
+
+* ``target_workers(view)`` — how many workers should be active, given
+  an :class:`AllocView` snapshot (active count, per-worker queue
+  depths, the scheduler's :class:`~repro.sim.stats.SloScoreboard`);
+  the mechanism clamps the answer into ``[1, cores]`` and applies at
+  most one change per cooldown window;
+* ``configure(config)`` — adopt platform tunables from a
+  :class:`~repro.runtime.costs.RuntimeConfig` (e.g. the platform-wide
+  SLO), mirroring the scheduling-policy hook of the same name.
+
+Decisions are evaluated on deterministic **tick boundaries** (every
+``tick_us`` of virtual time, at the first scheduler activity at or
+after each boundary), and a change is only applied when ``cooldown_us``
+has elapsed since the previous one — the mechanism-enforced hysteresis
+that the conformance harness (``tests/test_allocator_invariants.py``)
+checks from the alloc log.
+
+Three policies ship built in: ``static`` (today's fixed worker set —
+the default, and byte-identical to a scheduler with no allocator at
+all), ``queue-depth`` (grow when the mean backlog per active worker
+crosses a high watermark, shrink below a low one) and ``slo-headroom``
+(grow when recently completed tasks ran close to their SLO, shrink when
+they finished with ample headroom).  Like scheduling policies, unknown
+names get near-miss suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.qos import closest_name
+
+
+@dataclass(frozen=True)
+class AllocView:
+    """What an allocation policy may observe at one tick boundary.
+
+    ``queue_depths`` is index-aligned with the scheduler's workers
+    (parked workers included — their queues are drained at park time,
+    so they read 0), and ``scoreboard`` is the live per-class SLO
+    accounting; policies must treat both as read-only.
+    """
+
+    now_us: float
+    active: int
+    cores: int
+    queue_depths: Tuple[int, ...]
+    scoreboard: object
+
+    @property
+    def queued_tasks(self) -> int:
+        return sum(self.queue_depths)
+
+
+class AllocationPolicy:
+    """Base class: keep every core active (subclasses override)."""
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+
+    #: A static policy never changes the worker set; the scheduler
+    #: skips the allocation tick machinery entirely, so its schedules
+    #: are byte-identical to a scheduler built without an allocator.
+    is_static = False
+
+    def __init__(
+        self,
+        tick_us: float = 500.0,
+        cooldown_us: float = 2_000.0,
+    ):
+        if tick_us <= 0:
+            raise RuntimeFlickError(
+                f"allocator tick must be positive, got {tick_us}"
+            )
+        if cooldown_us < 0:
+            raise RuntimeFlickError(
+                f"allocator cooldown must be >= 0, got {cooldown_us}"
+            )
+        #: Virtual µs between decision boundaries.
+        self.tick_us = tick_us
+        #: Minimum virtual µs between two *applied* changes
+        #: (mechanism-enforced hysteresis).
+        self.cooldown_us = cooldown_us
+
+    def target_workers(self, view: AllocView) -> int:
+        """How many workers should be active (clamped by the mechanism
+        into ``[1, view.cores]``)."""
+        raise NotImplementedError
+
+    def configure(self, config) -> None:
+        """Adopt platform tunables from a ``RuntimeConfig`` (duck-typed)."""
+
+    def reset(self) -> None:
+        """Drop learned state; called when a scheduler adopts the policy."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.name!r}>"
+
+
+# -- registry ----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[AllocationPolicy]] = {}
+
+
+def register_allocator(cls: Type[AllocationPolicy]) -> Type[AllocationPolicy]:
+    """Class decorator adding ``cls`` to the registry under ``cls.name``."""
+    if not cls.name or cls.name == "abstract":
+        raise RuntimeFlickError(f"allocator class {cls.__name__} needs a name")
+    if cls.name in _REGISTRY:
+        raise RuntimeFlickError(f"allocator {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_allocators() -> tuple:
+    """All registered allocator names: ``static`` first, rest sorted."""
+    extras = sorted(name for name in _REGISTRY if name != "static")
+    return ("static",) + tuple(extras)
+
+
+def closest_allocator_name(name: str) -> Optional[str]:
+    """The registered name a typo most plausibly meant, or ``None``."""
+    return closest_name(name, _REGISTRY)
+
+
+def unknown_allocator_message(name: str) -> str:
+    """Error text for an unregistered allocator name, with a near-miss."""
+    message = (
+        f"unknown core allocator {name!r}; registered: "
+        f"{', '.join(sorted(_REGISTRY))}"
+    )
+    suggestion = closest_allocator_name(name)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    return message
+
+
+def make_allocator(name: str, **kwargs) -> AllocationPolicy:
+    """Instantiate the registered allocation policy ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise RuntimeFlickError(unknown_allocator_message(name)) from None
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise RuntimeFlickError(
+            f"bad parameters for allocator {name!r}: {exc}"
+        ) from None
+
+
+def resolve_allocator(spec) -> AllocationPolicy:
+    """Accept an allocator name or a ready instance; return an instance."""
+    if isinstance(spec, AllocationPolicy):
+        return spec
+    if isinstance(spec, str):
+        return make_allocator(spec)
+    raise RuntimeFlickError(
+        "allocator must be a name or AllocationPolicy, "
+        f"got {type(spec).__name__}"
+    )
+
+
+# -- built-in policies --------------------------------------------------------
+
+
+@register_allocator
+class StaticAllocator(AllocationPolicy):
+    """Today's behaviour: every core active for the whole run.
+
+    The scheduler recognises ``is_static`` and skips the allocation
+    tick machinery entirely, so a ``static`` run is byte-identical to
+    one on a scheduler that predates elastic allocation.
+    """
+
+    name = "static"
+    is_static = True
+
+    def target_workers(self, view: AllocView) -> int:
+        return view.cores
+
+
+@register_allocator
+class QueueDepthAllocator(AllocationPolicy):
+    """Hysteresis on the mean backlog per active worker.
+
+    Grow by one worker when the queued-task count per active worker
+    exceeds ``high_per_worker``; shrink by one when it falls below
+    ``low_per_worker``.  The watermark band is the policy-side
+    hysteresis; the mechanism's cooldown bounds the change rate on top.
+    """
+
+    name = "queue-depth"
+
+    def __init__(
+        self,
+        tick_us: float = 500.0,
+        cooldown_us: float = 2_000.0,
+        high_per_worker: float = 4.0,
+        low_per_worker: float = 0.5,
+    ):
+        super().__init__(tick_us, cooldown_us)
+        if not 0 <= low_per_worker < high_per_worker:
+            raise RuntimeFlickError(
+                "need 0 <= low_per_worker < high_per_worker, got "
+                f"[{low_per_worker}, {high_per_worker}]"
+            )
+        self.high_per_worker = high_per_worker
+        self.low_per_worker = low_per_worker
+
+    def target_workers(self, view: AllocView) -> int:
+        per_worker = view.queued_tasks / view.active
+        if per_worker > self.high_per_worker:
+            return view.active + 1
+        if per_worker < self.low_per_worker:
+            return view.active - 1
+        return view.active
+
+
+@register_allocator
+class SloHeadroomAllocator(AllocationPolicy):
+    """Grow/shrink from the SLO headroom of recently drained tasks.
+
+    Each tick reads the scoreboard records completed since the previous
+    tick and averages their ``latency / slo`` ratio (records without an
+    SLO carry no signal).  A mean ratio above ``grow_at`` means tasks
+    are running out of headroom — add a worker; a mean below
+    ``shrink_at`` *and* a near-empty backlog means capacity is idle —
+    retire one.  Ticks with no SLO-carrying completions keep the
+    current allocation.
+    """
+
+    name = "slo-headroom"
+
+    def __init__(
+        self,
+        tick_us: float = 500.0,
+        cooldown_us: float = 2_000.0,
+        grow_at: float = 0.8,
+        shrink_at: float = 0.3,
+    ):
+        super().__init__(tick_us, cooldown_us)
+        if not 0 < shrink_at < grow_at:
+            raise RuntimeFlickError(
+                f"need 0 < shrink_at < grow_at, got "
+                f"[{shrink_at}, {grow_at}]"
+            )
+        self.grow_at = grow_at
+        self.shrink_at = shrink_at
+        self._seen_records = 0
+
+    def reset(self) -> None:
+        self._seen_records = 0
+
+    def target_workers(self, view: AllocView) -> int:
+        records = view.scoreboard.records
+        fresh = records[self._seen_records:]
+        self._seen_records = len(records)
+        ratios = [
+            r.latency_us / r.slo_us for r in fresh if r.slo_us is not None
+        ]
+        if not ratios:
+            return view.active
+        mean_ratio = sum(ratios) / len(ratios)
+        if mean_ratio > self.grow_at:
+            return view.active + 1
+        if mean_ratio < self.shrink_at and view.queued_tasks <= view.active:
+            return view.active - 1
+        return view.active

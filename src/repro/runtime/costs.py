@@ -72,6 +72,17 @@ SchedulingPolicy` instance for custom parameters.
     semantic oracle.  Both tiers produce identical values and identical
     abstract op counts, so the choice changes wall-clock speed only —
     never any simulated result.
+
+    ``allocator`` selects the elastic core-allocation policy by
+    registry name (:func:`repro.runtime.allocator.registered_allocators`
+    — 'static' keeps every core active, today's behaviour) or is a
+    ready :class:`~repro.runtime.allocator.AllocationPolicy` instance.
+    ``admission`` names the per-service-class admission-control policy
+    (:func:`repro.runtime.admission.registered_admissions` —
+    'admit-all', 'shed-bronze', 'token-bucket') applied by open-loop
+    workload generators in front of this platform; the platform itself
+    only accounts the sheds, so the field exists to thread one config
+    through testbeds.
     """
 
     cores: int = 16
@@ -86,6 +97,8 @@ SchedulingPolicy` instance for custom parameters.
     buffer_pool_bytes: int = 64 * 1024 * 1024
     buffer_size: int = 16 * 1024
     exec_tier: str = "compiled"
+    allocator: object = "static"
+    admission: object = "admit-all"
 
     def __post_init__(self):
         if self.cores < 1:
@@ -138,3 +151,31 @@ SchedulingPolicy` instance for custom parameters.
                     "topology must be a registered name or a CoreTopology, "
                     f"got {type(self.topology).__name__}"
                 )
+        from repro.runtime.allocator import (
+            AllocationPolicy,
+            registered_allocators,
+            unknown_allocator_message,
+        )
+
+        if isinstance(self.allocator, str):
+            if self.allocator not in registered_allocators():
+                raise ValueError(unknown_allocator_message(self.allocator))
+        elif not isinstance(self.allocator, AllocationPolicy):
+            raise ValueError(
+                "allocator must be a registered name or an "
+                f"AllocationPolicy, got {type(self.allocator).__name__}"
+            )
+        from repro.runtime.admission import (
+            AdmissionPolicy,
+            registered_admissions,
+            unknown_admission_message,
+        )
+
+        if isinstance(self.admission, str):
+            if self.admission not in registered_admissions():
+                raise ValueError(unknown_admission_message(self.admission))
+        elif not isinstance(self.admission, AdmissionPolicy):
+            raise ValueError(
+                "admission must be a registered name or an "
+                f"AdmissionPolicy, got {type(self.admission).__name__}"
+            )

@@ -141,10 +141,13 @@ class FlickPlatform:
             self.config.timeslice_us,
             self.config.policy if policy is None else policy,
             topology=self.config.topology,
+            allocator=self.config.allocator,
         )
         # Platform tunables the policy understands (e.g. the deadline
-        # policy's SLO) are adopted after the scheduler reset the policy.
+        # policy's SLO) are adopted after the scheduler reset the policy;
+        # the allocator gets the same treatment.
         self.scheduler.policy.configure(self.config)
+        self.scheduler.allocator.configure(self.config)
         self.buffers = BufferPool(
             self.config.buffer_pool_bytes, self.config.buffer_size
         )

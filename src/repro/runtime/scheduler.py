@@ -36,11 +36,13 @@ Mechanism invariants, independent of policy:
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 from repro.core.errors import RuntimeFlickError
+from repro.runtime.allocator import AllocView, resolve_allocator
 from repro.runtime.costs import SCHEDULE_US, STEAL_US
 from repro.runtime.policy import resolve_policy
 from repro.sim.engine import Engine, Event
@@ -77,6 +79,29 @@ class StealRecord:
     queue_lens: Tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class AllocRecord:
+    """One applied core-allocation change, as the mechanism performed it.
+
+    The analogue of :class:`StealRecord` for the allocation plane:
+    ``active_before``/``active_after`` are the active worker index sets
+    around the change, ``parked``/``unparked`` the indices that moved
+    between them, ``moved_tasks`` how many queued tasks the mechanism
+    re-homed off parked workers, and ``queue_depths`` every worker's
+    queue length at the moment the policy decided (so tests can
+    reconstruct what the policy saw and replay the log into the final
+    active set).
+    """
+
+    at_us: float
+    active_before: Tuple[int, ...]
+    active_after: Tuple[int, ...]
+    parked: Tuple[int, ...]
+    unparked: Tuple[int, ...]
+    moved_tasks: int
+    queue_depths: Tuple[int, ...]
+
+
 class _Worker:
     __slots__ = (
         "index",
@@ -84,6 +109,7 @@ class _Worker:
         "queue",
         "wake",
         "sleeping",
+        "active",
         "busy_us",
         "steals",
         "stolen_tasks",
@@ -96,6 +122,7 @@ class _Worker:
         self.queue: Deque = deque()
         self.wake: Optional[Event] = None
         self.sleeping = False
+        self.active = True
         self.busy_us = 0.0
         self.steals = 0
         self.stolen_tasks = 0
@@ -116,6 +143,19 @@ class Scheduler:
     registered topology name, or ``None`` for the flat default) labels
     each worker with its socket and prices cross-socket steals; the
     ``numa`` policy consumes the labels to keep work on-socket.
+
+    ``allocator`` (a registered allocator name — see
+    :func:`repro.runtime.allocator.registered_allocators` — or an
+    :class:`~repro.runtime.allocator.AllocationPolicy` instance) elects
+    how many of the ``cores`` workers are *active*.  The mechanism here
+    evaluates the policy on deterministic tick boundaries, parks the
+    highest-index workers first and unparks the lowest-index parked
+    workers first (so the active set is always the worker prefix),
+    drains a parked worker's queue back onto active workers, and logs
+    every applied change as an :class:`AllocRecord` in
+    :attr:`alloc_log`.  The default ``static`` allocator disables the
+    tick machinery entirely and is byte-identical to pre-allocator
+    schedulers.
     """
 
     def __init__(
@@ -125,6 +165,7 @@ class Scheduler:
         timeslice_us: float = 50.0,
         policy="cooperative",
         topology=None,
+        allocator="static",
     ):
         if cores < 1:
             raise RuntimeFlickError("scheduler needs at least one core")
@@ -173,10 +214,27 @@ class Scheduler:
             _Worker(i, topology.socket_of(i) if topology else 0)
             for i in range(cores)
         ]
+        self.allocator = resolve_allocator(allocator)
+        self.allocator.reset()  # a reused instance must not carry state
+        self.allocator_name = self.allocator.name
+        if self.allocator.is_static:
+            # Byte-identity contract: `_active` *is* the worker list, so
+            # placement and victim selection see the exact object a
+            # pre-allocator scheduler would (NumA's group cache included)
+            # and no tick ever runs.
+            self._active = self._workers
+            self._alloc_enabled = False
+        else:
+            self._active = list(self._workers)
+            self._alloc_enabled = True
+        self._next_alloc_at = self.allocator.tick_us
+        self._last_alloc_change_at = -math.inf
         self._started = False
         self.tasks_executed = 0
         #: One :class:`StealRecord` per steal operation, in order.
         self.steal_log: list = []
+        #: One :class:`AllocRecord` per applied allocation change.
+        self.alloc_log: list = []
         #: Per-service-class completion/latency/SLO-miss accounting.
         self.scoreboard = SloScoreboard()
 
@@ -188,6 +246,15 @@ class Scheduler:
         self._started = True
         for worker in self._workers:
             self.engine.process(self._worker_loop(worker))
+
+    @property
+    def active_workers(self) -> int:
+        """How many workers are currently unparked."""
+        return len(self._active)
+
+    def active_worker_indices(self) -> Tuple[int, ...]:
+        """Indices of the currently active workers, ascending."""
+        return tuple(w.index for w in self._active)
 
     @property
     def total_busy_us(self) -> float:
@@ -217,10 +284,12 @@ class Scheduler:
 
     def home_worker(self, task) -> _Worker:
         """The worker queue this task is enqueued on (policy ``place``)."""
-        return self._place(task, self._workers)
+        return self._place(task, self._active)
 
     def notify_runnable(self, task) -> None:
         """Called when a task gains input; enqueues it exactly once."""
+        if self._alloc_enabled and self.engine.now >= self._next_alloc_at:
+            self._allocation_tick()
         if task.sched_state == QUEUED:
             return
         if task.sched_state == RUNNING:
@@ -242,13 +311,92 @@ class Scheduler:
             wake, preferred.wake = preferred.wake, None
             wake.trigger()
             return
-        # Home worker is busy: rouse one sleeping worker so it can steal.
-        for worker in self._workers:
+        # Home worker is busy: rouse one sleeping worker so it can
+        # steal.  Parked workers stay asleep — only an allocation
+        # change may resume them.
+        for worker in self._active:
             if worker.sleeping:
                 worker.sleeping = False
                 wake, worker.wake = worker.wake, None
                 wake.trigger()
                 return
+
+    # -- elastic core allocation ----------------------------------------------
+
+    def _allocation_tick(self) -> None:
+        """Evaluate the allocation policy at a due tick boundary.
+
+        Runs lazily from scheduler activity (admission and the worker
+        loop) at the first event at-or-after each ``tick_us`` boundary —
+        a perpetual ticker process would keep the event engine alive
+        forever, so the mechanism never self-schedules.
+        """
+        now = self.engine.now
+        tick = self.allocator.tick_us
+        # Catch up past idle gaps: the next boundary is strictly ahead.
+        self._next_alloc_at = (math.floor(now / tick) + 1.0) * tick
+        if now - self._last_alloc_change_at < self.allocator.cooldown_us:
+            return
+        queue_depths = tuple(len(w.queue) for w in self._workers)
+        view = AllocView(
+            now_us=now,
+            active=len(self._active),
+            cores=self.cores,
+            queue_depths=queue_depths,
+            scoreboard=self.scoreboard,
+        )
+        target = max(1, min(self.cores, int(self.allocator.target_workers(view))))
+        current = len(self._active)
+        if target == current:
+            return
+        before = self.active_worker_indices()
+        moved = 0
+        if target < current:
+            # Park highest-index actives first; the active set stays the
+            # worker prefix, so grow/shrink are exact inverses.
+            for worker in self._workers[target:current]:
+                worker.active = False
+                moved += self._drain_parked(worker, target)
+        else:
+            for worker in self._workers[current:target]:
+                worker.active = True
+        # A fresh list object exactly when membership changes: policies
+        # that cache per-worker-set state by identity (numa's socket
+        # groups) rebuild once per change instead of every placement.
+        self._active = self._workers[:target]
+        if target > current and self._started:
+            for worker in self._workers[current:target]:
+                if worker.sleeping:
+                    worker.sleeping = False
+                    wake, worker.wake = worker.wake, None
+                    wake.trigger()
+        self._last_alloc_change_at = now
+        self.alloc_log.append(
+            AllocRecord(
+                at_us=now,
+                active_before=before,
+                active_after=self.active_worker_indices(),
+                parked=tuple(w.index for w in self._workers[target:current]),
+                unparked=tuple(w.index for w in self._workers[current:target]),
+                moved_tasks=moved,
+                queue_depths=queue_depths,
+            )
+        )
+
+    def _drain_parked(self, worker: _Worker, target: int) -> int:
+        """Re-home a parked worker's queue onto the surviving actives."""
+        survivors = self._workers[:target]
+        moved = 0
+        while worker.queue:
+            task = worker.queue.popleft()
+            new_home = self._place(task, survivors)
+            new_home.queue.append(task)
+            moved += 1
+            if new_home.sleeping:
+                new_home.sleeping = False
+                wake, new_home.wake = new_home.wake, None
+                wake.trigger()
+        return moved
 
     # -- worker loop -----------------------------------------------------------------
 
@@ -262,6 +410,17 @@ class Scheduler:
         next_task = self._next_task
         notify_runnable = self.notify_runnable
         while True:
+            if self._alloc_enabled:
+                if engine.now >= self._next_alloc_at:
+                    self._allocation_tick()
+                if not worker.active:
+                    # Parked: queue already drained, nothing new can be
+                    # placed here, and _wake skips parked workers — only
+                    # an unpark triggers this event.
+                    worker.sleeping = True
+                    worker.wake = wake = engine.event()
+                    yield wake
+                    continue
             task, steal_us = next_task(worker)
             if task is None:
                 worker.sleeping = True
@@ -314,7 +473,7 @@ class Scheduler:
         """Next task for ``worker`` plus the steal cost it incurred (µs)."""
         if worker.queue:
             return self._next_local(worker), 0.0
-        victim = self._select_victim(worker, self._workers)
+        victim = self._select_victim(worker, self._active)
         if victim is not None and victim.queue:
             topology = self.topology
             # Snapshot before any task moves: the steal log must show

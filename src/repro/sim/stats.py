@@ -177,6 +177,12 @@ class SloScoreboard:
     stamped by the task graph, with unclassified tasks pooled under
     ``"default"``.  Aggregates are maintained incrementally; the raw
     :attr:`records` keep the full log for property tests and reports.
+
+    Requests an admission policy shed at the door never become tasks,
+    so they can't complete or miss — :meth:`record_shed` counts them
+    per class as the third first-class outcome next to completions and
+    misses (``admitted + shed == offered`` is the conservation law the
+    admission tests enforce).
     """
 
     def __init__(self):
@@ -184,6 +190,7 @@ class SloScoreboard:
         self._completions: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
         self._latency: Dict[str, LatencySeries] = {}
+        self._sheds: Dict[str, int] = {}
 
     def record(
         self,
@@ -220,12 +227,29 @@ class SloScoreboard:
         )
         return entry
 
+    def record_shed(self, service_class: str, count: int = 1) -> None:
+        """Count ``count`` requests of ``service_class`` shed at admission."""
+        if count < 0:
+            raise ValueError(f"negative shed count {count}")
+        if count:
+            self._sheds[service_class] = (
+                self._sheds.get(service_class, 0) + count
+            )
+
     @property
     def total_completions(self) -> int:
         return len(self.records)
 
+    @property
+    def total_sheds(self) -> int:
+        return sum(self._sheds.values())
+
     def completions_by_class(self) -> Dict[str, int]:
         return dict(self._completions)
+
+    def sheds_by_class(self) -> Dict[str, int]:
+        """Admission-shed requests per class (only classes with any)."""
+        return dict(self._sheds)
 
     def misses_by_class(self) -> Dict[str, int]:
         """SLO misses per class (classes with none recorded report 0)."""
@@ -237,16 +261,24 @@ class SloScoreboard:
         return dict(self._latency)
 
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-class aggregate dict (plain numbers, safe to pin golden)."""
+        """Per-class aggregate dict (plain numbers, safe to pin golden).
+
+        Classes that only ever shed (every arrival dropped at the door)
+        still appear, with zeroed completion/latency fields — a shed
+        request is an outcome, not an accounting gap.
+        """
         report: Dict[str, Dict[str, float]] = {}
-        for name in self._completions:
-            latency = self._latency[name]
+        for name in {**self._completions, **self._sheds}:
+            latency = self._latency.get(name)
             report[name] = {
-                "completions": self._completions[name],
+                "completions": self._completions.get(name, 0),
                 "misses": self._misses.get(name, 0),
-                "mean_ms": latency.mean_ms(),
-                "p99_ms": millis(latency.percentile_us(99.0)),
-                "max_ms": millis(latency.max_us()),
+                "shed": self._sheds.get(name, 0),
+                "mean_ms": latency.mean_ms() if latency else 0.0,
+                "p99_ms": (
+                    millis(latency.percentile_us(99.0)) if latency else 0.0
+                ),
+                "max_ms": millis(latency.max_us()) if latency else 0.0,
             }
         return report
 
@@ -257,7 +289,9 @@ class RunResult:
 
     ``class_stats`` carries the per-service-class SLO outcome summary
     (:meth:`SloScoreboard.summary`) when the run had a scoreboard —
-    empty for cost-model baselines.
+    empty for cost-model baselines.  ``admission_stats`` carries the
+    client-side per-class admission accounting (offered/admitted/shed)
+    when the run had an admission policy in front of it.
     """
 
     system: str
@@ -266,6 +300,9 @@ class RunResult:
     latency_ms: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
     class_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    admission_stats: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
 
     def as_row(self) -> str:
         return (

@@ -37,7 +37,8 @@ from repro.grammar.protocols import http
 from repro.grammar.protocols import memcached as mc
 from repro.net.simnet import Host
 from repro.net.tcp import TcpNetwork, TcpSocket
-from repro.runtime.qos import closest_name
+from repro.runtime.admission import AdmissionRequest, resolve_admission
+from repro.runtime.qos import DEFAULT_CLASS_NAME, closest_name
 from repro.sim.engine import Engine, Timeout
 from repro.sim.stats import IntervalSeries, LatencySeries, Meter
 
@@ -128,6 +129,28 @@ def _check_rate(rate_rps: float, what: str = "rate_rps") -> float:
     if rate_rps <= 0:
         raise ConfigError(f"{what} must be positive, got {rate_rps:g}")
     return float(rate_rps)
+
+
+def _check_class_mix(class_mix) -> tuple:
+    """Validate a ``((name, weight), ...)`` class mix; empty is fine."""
+    checked = []
+    seen = set()
+    for pair in class_mix:
+        name, weight = pair
+        if not name or not isinstance(name, str):
+            raise ConfigError(
+                f"class_mix names must be non-empty strings, got {name!r}"
+            )
+        if name in seen:
+            raise ConfigError(f"class_mix repeats class {name!r}")
+        seen.add(name)
+        if weight <= 0:
+            raise ConfigError(
+                f"class_mix weight for {name!r} must be positive, "
+                f"got {weight:g}"
+            )
+        checked.append((name, float(weight)))
+    return tuple(checked)
 
 
 @register_arrival
@@ -366,6 +389,19 @@ class OpenLoopClients:
 
     ``slo_us`` (optional) marks any completion slower than the target as
     an SLO miss.
+
+    ``admission`` (a registered name from
+    :func:`repro.runtime.admission.registered_admissions` or an
+    :class:`~repro.runtime.admission.AdmissionPolicy` instance) gates
+    every arrival: shed requests never reach the wire, so they cost the
+    platform nothing and are accounted per class (``completed + shed ==
+    offered`` within each class once the run drains).  ``class_mix``
+    labels arrivals with service-class names by deterministic weighted
+    round-robin — e.g. ``(("gold", 1.0), ("bronze", 1.0))`` alternates —
+    which is what class-aware admission policies discriminate on.
+    ``scoreboard`` (the platform's
+    :class:`~repro.sim.stats.SloScoreboard`) mirrors every shed so it
+    appears next to the server-side completions in ``class_stats``.
     """
 
     def __init__(
@@ -381,6 +417,9 @@ class OpenLoopClients:
         connections: int = 64,
         seed: int = 0xF11C,
         slo_us: Optional[float] = None,
+        admission="admit-all",
+        class_mix=(),
+        scoreboard=None,
     ):
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
@@ -397,13 +436,24 @@ class OpenLoopClients:
         self.connections = connections
         self.rng = random.Random(seed)
         self.slo_us = slo_us
+        self.admission = resolve_admission(admission)
+        self.admission.reset()  # a reused instance must not carry state
+        self.class_mix = _check_class_mix(class_mix)
+        self.scoreboard = scoreboard
         self.latency = LatencySeries()
         self.inter_arrivals = IntervalSeries()
         self.meter = Meter()
         self.offered = 0
+        self.admitted = 0
+        self.shed = 0
         self.completed = 0
         self.errors = 0
         self.slo_misses = 0
+        self.offered_by_class: Dict[str, int] = {}
+        self.admitted_by_class: Dict[str, int] = {}
+        self.shed_by_class: Dict[str, int] = {}
+        self.completed_by_class: Dict[str, int] = {}
+        self.misses_by_class: Dict[str, int] = {}
         self._conns: List[_OpenConnection] = []
         self._started = False
         self._admission_closed = False
@@ -422,36 +472,115 @@ class OpenLoopClients:
             conn.open()
         self.engine.process(self._admit())
 
+    def _class_cycle(self) -> Iterator[str]:
+        """Deterministic weighted round-robin over ``class_mix`` names.
+
+        Credit-based WRR: every step adds each class's weight to its
+        credit, the richest class (first listed on ties) wins and pays
+        the total weight back — so any weight ratio is realised exactly
+        over a cycle, with no RNG draw that could perturb the arrival
+        process stream.
+        """
+        if not self.class_mix:
+            while True:
+                yield DEFAULT_CLASS_NAME
+        names = [name for name, _ in self.class_mix]
+        weights = [weight for _, weight in self.class_mix]
+        total = sum(weights)
+        credits = [0.0] * len(names)
+        while True:
+            best = 0
+            for i, weight in enumerate(weights):
+                credits[i] += weight
+                if credits[i] > credits[best]:
+                    best = i
+            credits[best] -= total
+            yield names[best]
+
     def _admit(self):
+        classes = self._class_cycle()
         for gap in self.arrival.gaps(self.rng):
             if self.offered >= self.n_requests:
                 break
             if gap > 0:
                 yield Timeout(gap)
             index = self.offered
+            service_class = next(classes)
+            request = AdmissionRequest(
+                index=index,
+                now_us=self.engine.now,
+                service_class=service_class,
+                inflight=self.admitted - self.completed,
+                offered=self.offered,
+                admitted=self.admitted,
+                shed=self.shed,
+            )
             self.offered += 1
+            self.offered_by_class[service_class] = (
+                self.offered_by_class.get(service_class, 0) + 1
+            )
             self.inter_arrivals.observe(self.engine.now)
-            self._conns[index % self.connections].admit(index)
+            if not self.admission.admit(request):
+                self.shed += 1
+                self.shed_by_class[service_class] = (
+                    self.shed_by_class.get(service_class, 0) + 1
+                )
+                if self.scoreboard is not None:
+                    self.scoreboard.record_shed(service_class)
+                continue
+            slot = self.admitted
+            self.admitted += 1
+            self.admitted_by_class[service_class] = (
+                self.admitted_by_class.get(service_class, 0) + 1
+            )
+            self._conns[slot % self.connections].admit(index, service_class)
         self._admission_closed = True
 
     # -- completion accounting ----------------------------------------------
 
-    def _on_response(self, admitted_us: float, message) -> None:
+    def _on_response(
+        self, admitted_us: float, service_class: str, message
+    ) -> None:
         latency = self.engine.now - admitted_us
         self.completed += 1
+        self.completed_by_class[service_class] = (
+            self.completed_by_class.get(service_class, 0) + 1
+        )
         if self.codec.is_error(message):
             self.errors += 1
         self.latency.record(latency)
         if self.slo_us is not None and latency > self.slo_us:
             self.slo_misses += 1
+            self.misses_by_class[service_class] = (
+                self.misses_by_class.get(service_class, 0) + 1
+            )
         self.meter.add(self.codec.response_size(message))
         self.meter.finish(self.engine.now)
 
     @property
     def finished(self) -> bool:
         """Every admitted request saw a response (trace may cut offers
-        short of ``n_requests`` — ``replay`` is finite)."""
-        return self._admission_closed and self.completed == self.offered
+        short of ``n_requests`` — ``replay`` is finite, and shed
+        requests never went on the wire)."""
+        return self._admission_closed and self.completed == self.admitted
+
+    def admission_summary(self) -> Dict[str, Dict[str, float]]:
+        """Client-side per-class admission outcome (plain numbers).
+
+        Every class that offered anything appears; ``completed + shed``
+        equals ``offered`` only once the run has drained (in-flight
+        requests are admitted but not yet completed).
+        """
+        report: Dict[str, Dict[str, float]] = {}
+        for name in self.offered_by_class:
+            report[name] = {
+                "offered": self.offered_by_class.get(name, 0),
+                "admitted": self.admitted_by_class.get(name, 0),
+                "shed": self.shed_by_class.get(name, 0),
+                "completed": self.completed_by_class.get(name, 0),
+                "slo_misses": self.misses_by_class.get(name, 0),
+            }
+        return report
 
     # -- results -------------------------------------------------------------
 
@@ -487,8 +616,8 @@ class _OpenConnection:
             self.host, self.pop.target, self.pop.port, connected
         )
 
-    def admit(self, index: int) -> None:
-        self.outstanding.append(self.pop.engine.now)
+    def admit(self, index: int, service_class: str) -> None:
+        self.outstanding.append((self.pop.engine.now, service_class))
         payload = self.pop.codec.request_bytes(index)
         if self.socket is None:
             self._backlog.append(payload)
@@ -498,5 +627,5 @@ class _OpenConnection:
     def _on_data(self, data: bytes) -> None:
         self.parser.feed(data)
         for message in self.parser.messages():
-            admitted_us = self.outstanding.popleft()
-            self.pop._on_response(admitted_us, message)
+            admitted_us, service_class = self.outstanding.popleft()
+            self.pop._on_response(admitted_us, service_class, message)

@@ -1,0 +1,317 @@
+"""Admission-control tests: registry, policy units, conservation, survival.
+
+The conservation law (``admitted + shed == offered``, per class and in
+total) is checked as a hypothesis property over end-to-end open-loop
+runs, and the headline behaviour — ``shed-bronze`` turning an open-loop
+overload collapse into bounded gold-class misses with the bronze
+arrivals shed at the door — is pinned against an ``admit-all`` control
+run of the same workload.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.testbeds import run_http_experiment
+from repro.core.errors import ConfigError
+from repro.runtime.admission import (
+    AdmissionPolicy,
+    AdmissionRequest,
+    closest_admission_name,
+    make_admission,
+    registered_admissions,
+    resolve_admission,
+)
+from repro.runtime.costs import RuntimeConfig
+from repro.sim.stats import SloScoreboard
+from repro.workloads.arrivals import make_arrival
+
+
+def request(
+    service_class="default",
+    inflight=0,
+    now_us=0.0,
+    index=0,
+    offered=0,
+    admitted=0,
+    shed=0,
+):
+    return AdmissionRequest(
+        index=index,
+        now_us=now_us,
+        service_class=service_class,
+        inflight=inflight,
+        offered=offered,
+        admitted=admitted,
+        shed=shed,
+    )
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        names = registered_admissions()
+        assert names[0] == "admit-all"
+        assert {"shed-bronze", "token-bucket"} <= set(names)
+        assert len(set(names)) == len(names)
+
+    def test_unknown_name_gets_near_miss_suggestion(self):
+        with pytest.raises(Exception) as excinfo:
+            make_admission("shed-bronz")
+        assert "unknown admission policy 'shed-bronz'" in str(excinfo.value)
+        assert "did you mean 'shed-bronze'?" in str(excinfo.value)
+
+    def test_closest_admission_name(self):
+        assert closest_admission_name("token-buckt") == "token-bucket"
+        assert closest_admission_name("zzzzz") is None
+
+    def test_bad_parameters_are_flick_errors(self):
+        with pytest.raises(Exception, match="bad parameters"):
+            make_admission("admit-all", nope=1)
+        with pytest.raises(Exception, match="max_inflight"):
+            make_admission("shed-bronze", max_inflight=0)
+        with pytest.raises(Exception, match="protected class"):
+            make_admission("shed-bronze", protect=())
+        with pytest.raises(Exception, match="refill rate"):
+            make_admission("token-bucket", rate_rps=0)
+        with pytest.raises(Exception, match="burst"):
+            make_admission("token-bucket", burst=0.5)
+        with pytest.raises(Exception, match="class 'bronze'"):
+            make_admission("token-bucket", rates={"bronze": -1.0})
+
+    def test_resolve_accepts_instance_and_name(self):
+        instance = make_admission("shed-bronze")
+        assert resolve_admission(instance) is instance
+        assert resolve_admission("token-bucket").name == "token-bucket"
+        with pytest.raises(Exception, match="name or AdmissionPolicy"):
+            resolve_admission(42)
+
+    def test_runtime_config_validates_the_admission_field(self):
+        assert RuntimeConfig().admission == "admit-all"
+        assert isinstance(
+            RuntimeConfig(admission=make_admission("admit-all")).admission,
+            AdmissionPolicy,
+        )
+        with pytest.raises(ValueError, match="unknown admission policy"):
+            RuntimeConfig(admission="admitall")
+
+
+class TestShedBronze:
+    def test_below_watermark_everything_gets_in(self):
+        policy = make_admission("shed-bronze", max_inflight=2)
+        assert policy.admit(request("bronze", inflight=0))
+        assert policy.admit(request("bronze", inflight=1))
+        assert policy.admit(request("anything", inflight=1))
+
+    def test_above_watermark_only_protected_classes(self):
+        policy = make_admission("shed-bronze", max_inflight=2)
+        assert not policy.admit(request("bronze", inflight=2))
+        assert not policy.admit(request("default", inflight=5))
+        assert policy.admit(request("gold", inflight=5))
+
+    def test_protect_list_is_configurable(self):
+        policy = make_admission(
+            "shed-bronze", max_inflight=1, protect=("silver", "gold")
+        )
+        assert policy.admit(request("silver", inflight=10))
+        assert policy.admit(request("gold", inflight=10))
+        assert not policy.admit(request("bronze", inflight=10))
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_on_virtual_time(self):
+        # 1 token per virtual µs, burst of 2.
+        policy = make_admission(
+            "token-bucket", rate_rps=1_000_000.0, burst=2.0
+        )
+        assert policy.admit(request(now_us=0.0))
+        assert policy.admit(request(now_us=0.0))
+        assert not policy.admit(request(now_us=0.0))  # bucket empty
+        assert policy.admit(request(now_us=1.0))  # one token refilled
+        assert not policy.admit(request(now_us=1.0))
+
+    def test_refill_is_capped_at_burst(self):
+        policy = make_admission(
+            "token-bucket", rate_rps=1_000_000.0, burst=2.0
+        )
+        for _ in range(2):
+            assert policy.admit(request(now_us=0.0))
+        # A huge idle gap must refill to the burst ceiling, not beyond.
+        assert policy.admit(request(now_us=1e6))
+        assert policy.admit(request(now_us=1e6))
+        assert not policy.admit(request(now_us=1e6))
+
+    def test_per_class_rate_overrides(self):
+        policy = make_admission(
+            "token-bucket",
+            rate_rps=1_000_000.0,
+            burst=1.0,
+            rates={"bronze": 1.0},
+        )
+        assert policy.admit(request("bronze", now_us=0.0))
+        # Bronze refills at 1 token per virtual second: still dry...
+        assert not policy.admit(request("bronze", now_us=100.0))
+        # ...while gold (default rate) has long since refilled.
+        assert policy.admit(request("gold", now_us=0.0))
+        assert policy.admit(request("gold", now_us=100.0))
+
+    def test_reset_forgets_spent_tokens(self):
+        policy = make_admission(
+            "token-bucket", rate_rps=1_000_000.0, burst=1.0
+        )
+        assert policy.admit(request(now_us=0.0))
+        assert not policy.admit(request(now_us=0.0))
+        policy.reset()
+        assert policy.admit(request(now_us=0.0))
+
+
+class TestScoreboardSheds:
+    def test_negative_shed_count_rejected(self):
+        with pytest.raises(ValueError, match="negative shed count"):
+            SloScoreboard().record_shed("bronze", -1)
+
+    def test_shed_only_class_appears_with_zeroed_latency(self):
+        scoreboard = SloScoreboard()
+        scoreboard.record_shed("bronze", 3)
+        assert scoreboard.total_sheds == 3
+        assert scoreboard.sheds_by_class() == {"bronze": 3}
+        stats = scoreboard.summary()["bronze"]
+        assert stats["shed"] == 3
+        assert stats["completions"] == 0
+        assert stats["mean_ms"] == 0.0
+
+
+def open_loop_run(
+    admission="admit-all",
+    class_mix=(),
+    total_requests=96,
+    rate_rps=80_000.0,
+    cores=2,
+    concurrency=16,
+):
+    return run_http_experiment(
+        "flick-kernel",
+        concurrency,
+        mode="lb",
+        cores=cores,
+        arrival=make_arrival("poisson", rate_rps=rate_rps),
+        total_requests=total_requests,
+        slo_us=2_000.0,
+        admission=admission,
+        class_mix=class_mix,
+    )
+
+
+class TestConservation:
+    """``admitted + shed == offered`` — per class and in total."""
+
+    @given(
+        name=st.sampled_from(registered_admissions()),
+        gold_weight=st.integers(min_value=1, max_value=4),
+        bronze_weight=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_per_class_conservation_end_to_end(
+        self, name, gold_weight, bronze_weight
+    ):
+        mix = (
+            ("gold", float(gold_weight)),
+            ("bronze", float(bronze_weight)),
+        )
+        result = open_loop_run(admission=name, class_mix=mix)
+        stats = result.admission_stats
+        assert set(stats) == {"gold", "bronze"}
+        for per_class in stats.values():
+            assert (
+                per_class["admitted"] + per_class["shed"]
+                == per_class["offered"]
+            )
+            # The run drains: every admitted request completes.
+            assert per_class["completed"] == per_class["admitted"]
+        assert sum(s["offered"] for s in stats.values()) == 96
+        assert sum(s["admitted"] for s in stats.values()) == result.extra[
+            "admitted"
+        ]
+        assert sum(s["shed"] for s in stats.values()) == result.extra["shed"]
+
+    def test_class_mix_is_weighted_round_robin_exact(self):
+        result = open_loop_run(
+            class_mix=(("gold", 1.0), ("bronze", 3.0)), total_requests=96
+        )
+        stats = result.admission_stats
+        # Credit-based WRR, not sampling: proportions are exact.
+        assert stats["gold"]["offered"] == 24
+        assert stats["bronze"]["offered"] == 72
+
+    def test_sheds_mirror_into_the_platform_scoreboard(self):
+        result = open_loop_run(
+            admission=make_admission("shed-bronze", max_inflight=8),
+            class_mix=(("gold", 1.0), ("bronze", 1.0)),
+            rate_rps=160_000.0,
+            cores=1,
+            total_requests=128,
+        )
+        shed = result.admission_stats["bronze"]["shed"]
+        assert shed > 0
+        assert result.class_stats["bronze"]["shed"] == shed
+        # Gold never shed (and the task side runs unclassified here), so
+        # no gold entry materialises in the scoreboard summary.
+        assert result.class_stats.get("gold", {}).get("shed", 0) == 0
+
+
+class TestValidation:
+    def test_admission_needs_an_open_loop(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            run_http_experiment(
+                "flick-kernel", 8, admission="shed-bronze"
+            )
+        with pytest.raises(ValueError, match="open-loop"):
+            run_http_experiment(
+                "flick-kernel", 8, class_mix=(("gold", 1.0),)
+            )
+
+    def test_class_mix_shape_is_checked(self):
+        with pytest.raises(ConfigError, match="weight"):
+            open_loop_run(class_mix=(("gold", 0.0),))
+        with pytest.raises(ConfigError, match="repeats class"):
+            open_loop_run(class_mix=(("gold", 1.0), ("gold", 2.0)))
+
+
+class TestOverloadSurvival:
+    """The PR's headline: shedding bronze keeps gold's SLO alive."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        kwargs = dict(
+            class_mix=(("gold", 1.0), ("bronze", 1.0)),
+            total_requests=512,
+            rate_rps=160_000.0,
+            cores=8,
+            concurrency=64,
+        )
+        control = open_loop_run(admission="admit-all", **kwargs)
+        shed = open_loop_run(
+            admission=make_admission("shed-bronze", max_inflight=96),
+            **kwargs,
+        )
+        return control, shed
+
+    def test_admit_all_collapses_under_overload(self, runs):
+        control, _ = runs
+        stats = control.admission_stats
+        assert stats["gold"]["shed"] == 0
+        assert stats["bronze"]["shed"] == 0
+        # Open loop + no shedding: the queue grows without bound and
+        # takes the premium class down with it.
+        assert stats["gold"]["slo_misses"] > 100
+
+    def test_shed_bronze_bounds_gold_misses(self, runs):
+        control, shed = runs
+        stats = shed.admission_stats
+        assert stats["bronze"]["shed"] > 0
+        assert stats["gold"]["shed"] == 0
+        assert stats["gold"]["admitted"] == stats["gold"]["offered"]
+        assert (
+            stats["gold"]["slo_misses"]
+            < control.admission_stats["gold"]["slo_misses"]
+        )
+        assert shed.extra["p99_ms"] < control.extra["p99_ms"]

@@ -1,0 +1,320 @@
+"""Allocation-policy conformance harness.
+
+Every registered core-allocation policy — present and future — is run
+through a seeded elastic workload (a low-load trickle followed by an
+overload burst, so both shrink and grow pressure exist) and checked
+against the cross-cutting invariants of the allocator's
+policy/mechanism contract, so a new allocator gets regression coverage
+the moment it is registered:
+
+* **bounds** — the active worker count never leaves ``[1, cores]``,
+  whatever the policy's ``target_workers`` returns;
+* **prefix discipline** — the active set is always the worker prefix
+  ``[0..n)``: park highest-index first, unpark lowest-index first;
+* **hysteresis** — applied changes are at least ``cooldown_us`` of
+  virtual time apart (the mechanism-enforced cooldown);
+* **log replay** — replaying ``parked``/``unparked`` from the alloc
+  log, starting from the all-active initial set, reconstructs every
+  intermediate active set and the scheduler's final one: the log is a
+  complete, ordered record of what the mechanism did;
+* **conservation under parking** — draining parked queues loses no
+  work: every admitted task still completes exactly once;
+* **determinism** — identical seeds produce identical schedules *and*
+  identical alloc logs;
+* **static byte-identity** — the default ``static`` allocator is
+  indistinguishable from a scheduler built before elastic allocation
+  existed (same schedule, no ticks, no log, the worker list object
+  itself as the active set).
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import RuntimeFlickError
+from repro.runtime.allocator import (
+    AllocationPolicy,
+    closest_allocator_name,
+    make_allocator,
+    registered_allocators,
+    resolve_allocator,
+)
+from repro.runtime.costs import RuntimeConfig
+from repro.runtime.scheduler import IDLE, Scheduler, TaskBase
+from repro.sim.engine import Engine
+
+SEEDS = (7, 23)
+CORES = 4
+#: Small windows so a ~4000 µs workload crosses many tick boundaries.
+TICK_US = 100.0
+COOLDOWN_US = 200.0
+
+DYNAMIC_ALLOCATORS = tuple(
+    name
+    for name in registered_allocators()
+    if not make_allocator(name).is_static
+)
+
+
+class ElasticTask(TaskBase):
+    """Finite task with per-item cost (as in the policy harness)."""
+
+    def __init__(self, name, n_items, item_cost_us, engine, slo_us=None):
+        super().__init__(name)
+        self._engine = engine
+        self.total_items = n_items
+        self.remaining = n_items
+        self.item_cost_us = item_cost_us
+        if slo_us is not None:
+            self.slo_us = slo_us
+        self.finished_at = None
+
+    def has_work(self):
+        return self.remaining > 0
+
+    def step(self, budget_us):
+        elapsed = 0.0
+        while self.remaining > 0:
+            self.remaining -= 1
+            elapsed += self.item_cost_us
+            self.items_processed += 1
+            if budget_us == 0.0:
+                break
+            if budget_us is not None and elapsed >= budget_us:
+                break
+        emissions = []
+        if self.remaining == 0 and self.finished_at is None:
+            def mark():
+                self.finished_at = self._engine.now
+
+            emissions.append(mark)
+        self.busy_us += elapsed
+        return elapsed, emissions
+
+
+def build_allocator(name):
+    return make_allocator(name, tick_us=TICK_US, cooldown_us=COOLDOWN_US)
+
+
+def run_elastic_workload(allocator, seed):
+    """Trickle then burst: shrink pressure, then grow pressure.
+
+    Phase 1 trickles tiny comfortably-within-SLO tasks (queues near
+    empty, ample headroom — dynamic policies shrink); phase 2 dumps a
+    burst of slow tasks with tight SLOs (deep backlog, latencies past
+    the SLO — they grow back).  Returns ``(scheduler, tasks)`` at
+    quiescence.
+    """
+    TaskBase.reset_ids()
+    rng = random.Random(seed)
+    engine = Engine()
+    scheduler = Scheduler(engine, CORES, 50.0, allocator=allocator)
+    tasks = []
+    arrivals = []
+    for index in range(8):
+        tasks.append(
+            ElasticTask(
+                f"trickle{index}",
+                rng.randint(1, 2),
+                1.0,
+                engine,
+                slo_us=5_000.0,
+            )
+        )
+        arrivals.append(index * 250.0)
+    for index in range(16):
+        tasks.append(
+            ElasticTask(
+                f"burst{index}",
+                rng.randint(15, 25),
+                4.0,
+                engine,
+                slo_us=50.0,
+            )
+        )
+        arrivals.append(2_000.0 + rng.uniform(0.0, 50.0))
+    order = sorted(range(len(tasks)), key=lambda i: arrivals[i])
+    scheduler.start()
+
+    def admit():
+        now = 0.0
+        for index in order:
+            if arrivals[index] > now:
+                yield engine.timeout(arrivals[index] - now)
+                now = arrivals[index]
+            scheduler.notify_runnable(tasks[index])
+
+    engine.process(admit())
+    engine.run()
+    return scheduler, tasks
+
+
+def snapshot(scheduler, tasks):
+    """Everything a schedule + alloc trace determines."""
+    return {
+        "tasks": [
+            (t.name, t.items_processed, t.busy_us, t.finished_at)
+            for t in tasks
+        ],
+        "executed": scheduler.tasks_executed,
+        "busy_us": scheduler.total_busy_us,
+        "steals": scheduler.total_steals,
+        "alloc_log": list(scheduler.alloc_log),
+        "active": scheduler.active_worker_indices(),
+        "slo_misses": scheduler.scoreboard.misses_by_class(),
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", registered_allocators())
+class TestAllocatorInvariants:
+    def test_conservation_under_parking(self, name, seed):
+        scheduler, tasks = run_elastic_workload(build_allocator(name), seed)
+        for task in tasks:
+            assert task.remaining == 0, f"{task.name} lost work"
+            assert task.items_processed == task.total_items
+            assert task.finished_at is not None, f"{task.name} never finished"
+            assert task.sched_state == IDLE
+        assert all(not w.queue for w in scheduler._workers)
+        assert scheduler.scoreboard.total_completions == len(tasks)
+
+    def test_active_count_bounds_and_prefix_discipline(self, name, seed):
+        scheduler, _ = run_elastic_workload(build_allocator(name), seed)
+        for record in scheduler.alloc_log:
+            for active in (record.active_before, record.active_after):
+                assert 1 <= len(active) <= scheduler.cores
+                # Prefix discipline: the active set is always [0..n).
+                assert active == tuple(range(len(active)))
+            assert len(record.queue_depths) == scheduler.cores
+        final = scheduler.active_worker_indices()
+        assert 1 <= len(final) <= scheduler.cores
+        assert final == tuple(range(len(final)))
+
+    def test_cooldown_separates_applied_changes(self, name, seed):
+        scheduler, _ = run_elastic_workload(build_allocator(name), seed)
+        times = [record.at_us for record in scheduler.alloc_log]
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier >= COOLDOWN_US - 1e-9, (
+                f"changes at {earlier} and {later} violate the "
+                f"{COOLDOWN_US}us cooldown"
+            )
+
+    def test_log_replay_reconstructs_the_active_set(self, name, seed):
+        scheduler, _ = run_elastic_workload(build_allocator(name), seed)
+        active = set(range(scheduler.cores))
+        for record in scheduler.alloc_log:
+            assert tuple(sorted(active)) == record.active_before
+            assert set(record.parked) <= active
+            assert not set(record.unparked) & active
+            # A change parks or unparks, never both.
+            assert not (record.parked and record.unparked)
+            active -= set(record.parked)
+            active |= set(record.unparked)
+            assert tuple(sorted(active)) == record.active_after
+        assert tuple(sorted(active)) == scheduler.active_worker_indices()
+
+    def test_identical_seeds_identical_schedules_and_logs(self, name, seed):
+        first = snapshot(*run_elastic_workload(build_allocator(name), seed))
+        second = snapshot(*run_elastic_workload(build_allocator(name), seed))
+        assert first == second
+
+    def test_reset_restores_a_reusable_allocator(self, name, seed):
+        allocator = build_allocator(name)
+        used = snapshot(*run_elastic_workload(allocator, seed))
+        # Same instance again: adoption resets learned state.
+        reused = snapshot(*run_elastic_workload(allocator, seed))
+        assert used == reused
+
+
+@pytest.mark.parametrize("name", DYNAMIC_ALLOCATORS)
+def test_dynamic_allocators_adapt_to_the_elastic_workload(name):
+    """Every non-static policy must actually move on a workload built
+    to pressure both directions — an allocator that never changes
+    anything is just `static` with extra bookkeeping."""
+    scheduler, _ = run_elastic_workload(build_allocator(name), seed=7)
+    assert scheduler.alloc_log, f"{name} never changed the allocation"
+    sizes = {len(r.active_after) for r in scheduler.alloc_log}
+    assert min(sizes) < CORES, f"{name} never shrank below {CORES} workers"
+
+
+def test_static_is_byte_identical_to_a_pre_allocator_scheduler():
+    """`static` must not merely behave the same — it must disable the
+    tick machinery entirely and share the worker-list object, so
+    identity-keyed policy caches (numa's socket groups) see the exact
+    object a pre-allocator scheduler would."""
+    default = snapshot(*run_elastic_workload("static", seed=7))
+    explicit = snapshot(
+        *run_elastic_workload(make_allocator("static"), seed=7)
+    )
+    assert default == explicit
+    scheduler, _ = run_elastic_workload("static", seed=7)
+    assert scheduler.alloc_log == []
+    assert not scheduler._alloc_enabled
+    assert scheduler._active is scheduler._workers
+    assert scheduler.active_workers == CORES
+
+
+class TestRegistry:
+    def test_harness_covers_whole_registry(self):
+        """The parametrization above is the conformance gate: it must
+        track the registry, not a hand-maintained list."""
+        names = registered_allocators()
+        assert len(names) >= 3
+        assert len(set(names)) == len(names)
+        assert names[0] == "static"
+        assert {"queue-depth", "slo-headroom"} <= set(names)
+        assert DYNAMIC_ALLOCATORS  # the adaptivity gate is non-empty
+
+    def test_unknown_name_gets_near_miss_suggestion(self):
+        with pytest.raises(RuntimeFlickError) as excinfo:
+            make_allocator("queue-deph")
+        assert "unknown core allocator 'queue-deph'" in str(excinfo.value)
+        assert "did you mean 'queue-depth'?" in str(excinfo.value)
+
+    def test_closest_allocator_name(self):
+        assert closest_allocator_name("statik") == "static"
+        assert closest_allocator_name("zzzzz") is None
+
+    def test_bad_parameters_are_flick_errors(self):
+        with pytest.raises(RuntimeFlickError, match="bad parameters"):
+            make_allocator("static", tick_hz=10)
+        with pytest.raises(RuntimeFlickError, match="tick must be positive"):
+            make_allocator("static", tick_us=0)
+        with pytest.raises(RuntimeFlickError, match="cooldown"):
+            make_allocator("static", cooldown_us=-1)
+        with pytest.raises(RuntimeFlickError, match="low_per_worker"):
+            make_allocator("queue-depth", low_per_worker=4, high_per_worker=4)
+        with pytest.raises(RuntimeFlickError, match="shrink_at"):
+            make_allocator("slo-headroom", grow_at=0.2, shrink_at=0.3)
+
+    def test_resolve_accepts_instance_and_name(self):
+        instance = make_allocator("queue-depth")
+        assert resolve_allocator(instance) is instance
+        assert resolve_allocator("slo-headroom").name == "slo-headroom"
+        with pytest.raises(
+            RuntimeFlickError, match="name or AllocationPolicy"
+        ):
+            resolve_allocator(42)
+
+    def test_duplicate_and_abstract_registration_rejected(self):
+        from repro.runtime.allocator import register_allocator
+
+        with pytest.raises(RuntimeFlickError, match="registered twice"):
+            @register_allocator
+            class Clash(AllocationPolicy):  # pragma: no cover - rejected
+                name = "static"
+
+        with pytest.raises(RuntimeFlickError, match="needs a name"):
+            @register_allocator
+            class Nameless(AllocationPolicy):  # pragma: no cover - rejected
+                pass
+
+    def test_runtime_config_validates_the_allocator_field(self):
+        assert RuntimeConfig().allocator == "static"
+        assert RuntimeConfig(allocator="queue-depth").allocator
+        assert isinstance(
+            RuntimeConfig(allocator=make_allocator("static")).allocator,
+            AllocationPolicy,
+        )
+        with pytest.raises(ValueError, match="unknown core allocator"):
+            RuntimeConfig(allocator="qeue-depth")

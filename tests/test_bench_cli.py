@@ -89,6 +89,77 @@ class TestScenarioFlag:
         assert list(document["scenarios"]) == ["http-closed-baseline"]
 
 
+class TestAllocatorAdmissionFlags:
+    def test_unknown_allocator_exits_2_with_suggestion(self, capsys):
+        assert main(["scenarios", "--allocator", "queue-deph"]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown core allocator 'queue-deph'" in stderr
+        assert "did you mean 'queue-depth'?" in stderr
+
+    def test_unknown_admission_exits_2_with_suggestion(self, capsys):
+        assert main(["scenarios", "--admission", "shed-bronz"]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown admission policy 'shed-bronz'" in stderr
+        assert "did you mean 'shed-bronze'?" in stderr
+
+    def test_typos_rejected_before_other_targets_run(self, capsys):
+        assert main(["e1", "--quick", "--allocator", "statik"]) == 2
+        assert "did you mean 'static'?" in capsys.readouterr().err
+        assert main(["e1", "--quick", "--admission", "admitall"]) == 2
+        assert "did you mean 'admit-all'?" in capsys.readouterr().err
+
+    def test_overrides_apply_to_the_selected_scenarios(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "overridden.json"
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-open-poisson",
+            "--allocator", "queue-depth",
+            "--admission", "token-bucket",
+            "--output", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "admission=token-bucket" in stdout
+        assert "allocator=queue-depth" in stdout
+        entry = results_io.load_results(out)["scenarios"]["http-open-poisson"]
+        assert entry["allocator"]["name"] == "queue-depth"
+        assert entry["admission"]["policy"] == "token-bucket"
+
+    def test_admission_override_on_a_closed_loop_scenario_exits_2(
+        self, capsys
+    ):
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-closed-baseline",
+            "--admission", "shed-bronze",
+        ])
+        assert code == 2
+        assert "open-loop" in capsys.readouterr().err
+
+    def test_documented_ci_override_leg_is_green(self, tmp_path, capsys):
+        """The perf-smoke CI leg re-runs the pinned shed scenario with
+        an explicit --admission override matching its pinned policy, so
+        it must compare clean against the committed baseline."""
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).parent.parent
+            / "benchmarks" / "baseline_scenarios.json"
+        )
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-overload-shed",
+            "--admission", "shed-bronze",
+            "--output", str(tmp_path / "now.json"),
+            "--baseline", str(baseline),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "no perf regressions" in captured.out
+
+
 class TestBaselineFlag:
     def test_regression_exits_1(self, tmp_path, capsys):
         out = tmp_path / "now.json"

@@ -39,6 +39,29 @@ class TestMatrixShape:
         names = [s.name for s in SCENARIOS]
         assert len(names) == len(set(names))
 
+    def test_has_the_admission_survival_pair(self):
+        """open vs shed differ only in the admission policy, so the
+        pinned pair isolates what shedding buys under overload."""
+        by_name = {s.name: s for s in SCENARIOS}
+        open_, shed = (
+            by_name["http-overload-open"], by_name["http-overload-shed"],
+        )
+        assert open_.admission == "admit-all"
+        assert shed.admission == "shed-bronze"
+        assert shed.admission_params
+        assert open_.class_mix == shed.class_mix != ()
+        assert open_.arrival == shed.arrival
+        assert open_.arrival_params == shed.arrival_params
+        assert open_.slo_ms == shed.slo_ms is not None
+        assert open_.requests == shed.requests
+        assert open_.cores == shed.cores
+
+    def test_has_an_elastic_allocator_scenario(self):
+        by_name = {s.name: s for s in SCENARIOS}
+        ramp = by_name["http-ramp-elastic"]
+        assert ramp.allocator == "queue-depth"
+        assert ramp.arrival == "ramp"
+
 
 class TestSelection:
     def test_all_selects_the_whole_matrix(self):
@@ -155,6 +178,94 @@ class TestRunner:
             quick=True,
         )
         assert run_scenario(scenario, quick=True) == first
+
+    def test_unknown_allocator_and_admission_get_near_misses(self):
+        with pytest.raises(ConfigError) as excinfo:
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival=None,
+                allocator="queue-deph",
+            ))
+        assert "did you mean 'queue-depth'?" in str(excinfo.value)
+        with pytest.raises(ConfigError) as excinfo:
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson",
+                admission="shed-bronz",
+            ))
+        assert "did you mean 'shed-bronze'?" in str(excinfo.value)
+
+    def test_admission_fields_need_an_open_loop_scenario(self):
+        # silently dropping them would pin numbers under a config that
+        # never ran — same rule as hadoop's service_classes
+        for fields in (
+            {"admission": "shed-bronze"},
+            {"admission_params": (("max_inflight", 8),)},
+            {"class_mix": (("gold", 1.0),)},
+        ):
+            with pytest.raises(ConfigError, match="open-loop"):
+                run_scenario(Scenario(
+                    name="x", app="http_lb", arrival=None, **fields
+                ))
+        with pytest.raises(ConfigError, match="open-loop"):
+            run_scenario(Scenario(
+                name="x", app="hadoop_agg", arrival="poisson",
+                admission="token-bucket",
+            ))
+
+    def test_entry_allocator_and_admission_sections(self):
+        scenario = Scenario(
+            name="tiny-shed", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            connections=16, requests=256, slo_ms=2.0, cores=4,
+            admission="shed-bronze",
+            admission_params=(("max_inflight", 8),),
+            class_mix=(("gold", 1.0), ("bronze", 1.0)),
+        )
+        entry = run_scenario(scenario, quick=True)
+        assert entry["allocator"] == {
+            "name": "static", "changes": 0, "moved_tasks": 0,
+            "active_workers": {"min": 4, "max": 4, "final": 4},
+        }
+        admission = entry["admission"]
+        assert admission["policy"] == "shed-bronze"
+        assert admission["class_mix"] == {"gold": 1.0, "bronze": 1.0}
+        assert set(admission["per_class"]) == {"gold", "bronze"}
+        for stats in admission["per_class"].values():
+            assert stats["admitted"] + stats["shed"] == stats["offered"]
+        assert admission["admitted"] + admission["shed"] == 256
+
+    def test_closed_loop_entry_has_allocator_but_no_admission(self):
+        entry = run_scenario(Scenario(
+            name="closed", app="http_lb", arrival=None,
+            connections=8, requests=256, slo_ms=2.0, cores=2,
+        ), quick=True)
+        assert entry["allocator"]["name"] == "static"
+        assert "admission" not in entry
+
+    def test_ramp_elastic_scenario_records_allocation_changes(self):
+        by_name = {s.name: s for s in SCENARIOS}
+        scenario = by_name["http-ramp-elastic"]
+        entry = run_scenario(scenario, quick=True)
+        alloc = entry["allocator"]
+        assert alloc["name"] == "queue-depth"
+        assert alloc["changes"] > 0
+        assert alloc["active_workers"]["min"] < scenario.cores
+
+    def test_shedding_bounds_gold_misses_where_admit_all_collapses(self):
+        """The PR's acceptance pair at matrix level: same offered load,
+        and only the shed run keeps the premium class inside its SLO
+        budget."""
+        by_name = {s.name: s for s in SCENARIOS}
+        open_entry = run_scenario(by_name["http-overload-open"], quick=True)
+        shed_entry = run_scenario(by_name["http-overload-shed"], quick=True)
+        open_gold = open_entry["admission"]["per_class"]["gold"]
+        shed_gold = shed_entry["admission"]["per_class"]["gold"]
+        assert open_entry["admission"]["shed"] == 0
+        assert shed_entry["admission"]["per_class"]["bronze"]["shed"] > 0
+        assert shed_gold["shed"] == 0
+        assert shed_gold["slo_misses"] < open_gold["slo_misses"]
+        assert (
+            shed_entry["latency_ms"]["p99"] < open_entry["latency_ms"]["p99"]
+        )
 
     def test_hadoop_scenario_runs_with_paced_mappers(self):
         scenario = Scenario(
@@ -283,6 +394,30 @@ class TestBaselineComparison:
         # without the restriction the same comparison flags coverage
         (regression,) = results_io.compare_to_baseline(current, baseline)
         assert regression.metric == "coverage"
+
+    def test_field_set_change_is_a_fields_regression(self):
+        """A schema change (new/renamed sections) must fail the gate
+        until the baseline is regenerated in the same PR — silently
+        ignoring unknown keys would let it slide."""
+        def doc(extra_key):
+            return results_io.results_document(
+                {"s": {"throughput": 100.0,
+                       "latency_ms": {"p99": 1.0},
+                       extra_key: {}}},
+                quick=True,
+            )
+        (regression,) = results_io.compare_to_baseline(
+            doc("admission"), doc("steals")
+        )
+        assert regression.metric == "fields"
+        text = str(regression)
+        assert "gained: admission" in text
+        assert "lost: steals" in text
+        assert "regenerate the baseline" in text
+        # identical field sets stay green
+        assert results_io.compare_to_baseline(
+            doc("admission"), doc("admission")
+        ) == []
 
     def test_scenario_new_in_current_passes(self):
         current, _ = self._docs()
