@@ -40,8 +40,12 @@ MBPS = 1_000_000.0
 GBPS = 1_000_000_000.0
 
 
-def transmission_time_us(nbytes: int, rate_bps: float) -> float:
-    """Time (µs) to push ``nbytes`` through a link of ``rate_bps`` bits/s."""
+def transmission_time_us(nbytes: float, rate_bps: float) -> float:
+    """Time (µs) to push ``nbytes`` through a link of ``rate_bps`` bits/s.
+
+    ``nbytes`` may be fractional: wire-overhead inflation produces
+    non-integral wire-byte counts and the fraction must be charged.
+    """
     if rate_bps <= 0:
         raise ValueError(f"rate must be positive, got {rate_bps}")
     return (nbytes * 8.0) / rate_bps * SECONDS

@@ -46,7 +46,7 @@ class RateLimiter:
         """Claim the resource; returns the time the last bit leaves."""
         wire_bytes = nbytes * WIRE_OVERHEAD
         start = max(now_us, self._free_at)
-        end = start + transmission_time_us(int(wire_bytes), self.rate_bps)
+        end = start + transmission_time_us(wire_bytes, self.rate_bps)
         self._free_at = end
         return end
 
@@ -115,18 +115,18 @@ class Network:
     ) -> float:
         """Schedule ``callback`` when ``nbytes`` from src arrive at dst.
 
-        Returns the arrival time (µs).  Zero-byte control exchanges (SYN,
-        FIN) still pay per-hop latency.
+        Returns the arrival time (µs).  Zero-byte control exchanges
+        (SYN, FIN) still pay per-hop latency and — like any other frame
+        — claim their place in the sender's NIC queue, so a FIN can
+        never leave the host ahead of data still serialising behind
+        ``src.tx.busy_until``.
         """
         now = self.engine.now
-        hops = 1
-        depart = src.tx.transmit(now, nbytes) if nbytes else now
+        depart = src.tx.transmit(now, nbytes)
         trunk = self._trunk(src.segment, dst.segment)
         if trunk is not None:
-            hops += 1
             depart = trunk.transmit(depart + HOP_LATENCY_US, nbytes)
-        arrive_at_nic = dst.rx.transmit(depart + HOP_LATENCY_US, nbytes)
-        arrival = arrive_at_nic + (hops - 1) * 0.0  # latency folded above
+        arrival = dst.rx.transmit(depart + HOP_LATENCY_US, nbytes)
         self.engine.at(arrival, callback)
         return arrival
 

@@ -38,8 +38,11 @@ class TcpSocket:
         self._recv_callback: Optional[Callable[[bytes], None]] = None
         self._close_callback: Optional[Callable[[], None]] = None
         self._peer_closed = False
+        self._flush_scheduled = False
+        self._close_delivered = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.bytes_dropped = 0
 
     # -- sending ------------------------------------------------------------
 
@@ -69,25 +72,40 @@ class TcpSocket:
     # -- receiving -------------------------------------------------------------
 
     def on_receive(self, callback: Callable[[bytes], None]) -> None:
-        """Register the data callback; buffered bytes flush immediately."""
+        """Register the data callback.
+
+        Buffered bytes flush on a deferred engine tick (never
+        synchronously inside the registration call), so data and EOF
+        delivery are both engine-ordered regardless of which callback
+        the application registers first.
+        """
         self._recv_callback = callback
-        if self._recv_buffer:
-            pending, self._recv_buffer = self._recv_buffer, []
-            for chunk in pending:
-                callback(chunk)
-        if self._peer_closed and self._close_callback is None:
-            pass  # close notification waits for on_close registration
+        if self._recv_buffer and not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._net.engine.schedule(0.0, self._flush_recv)
 
     def on_close(self, callback: Callable[[], None]) -> None:
         self._close_callback = callback
-        if self._peer_closed:
-            self._net.engine.schedule(0.0, callback)
+        self._maybe_deliver_close()
+
+    def _flush_recv(self) -> None:
+        self._flush_scheduled = False
+        callback = self._recv_callback
+        if callback is None:
+            return  # keep buffering; a later on_receive reschedules
+        pending, self._recv_buffer = self._recv_buffer, []
+        for chunk in pending:
+            callback(chunk)
+        self._maybe_deliver_close()
 
     def _on_data(self, data: bytes) -> None:
         if self.closed:
+            # Locally closed: bytes still in flight are dropped on the
+            # floor, but accounted for rather than silently lost.
+            self.bytes_dropped += len(data)
             return
         self.bytes_received += len(data)
-        if self._recv_callback is not None:
+        if self._recv_callback is not None and not self._recv_buffer:
             self._recv_callback(data)
         else:
             self._recv_buffer.append(data)
@@ -96,8 +114,20 @@ class TcpSocket:
         if self._peer_closed:
             return
         self._peer_closed = True
-        if self._close_callback is not None:
-            self._close_callback()
+        self._maybe_deliver_close()
+
+    def _maybe_deliver_close(self) -> None:
+        """Deliver EOF exactly once, deferred, and never while earlier
+        bytes sit undelivered in the receive buffer (stream order)."""
+        if (
+            not self._peer_closed
+            or self._close_delivered
+            or self._close_callback is None
+            or self._recv_buffer
+        ):
+            return
+        self._close_delivered = True
+        self._net.engine.schedule(0.0, self._close_callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TcpSocket({self.conn_id}:{self.role}@{self.host.name})"

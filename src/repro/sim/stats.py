@@ -12,6 +12,7 @@ requests/s, ms, Mb/s).
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -19,15 +20,32 @@ from repro.core.units import millis, rate_per_second, throughput_mbps
 
 
 class LatencySeries:
-    """Collects latency samples (virtual µs)."""
+    """Collects latency samples (virtual µs).
+
+    Percentile/max/count-over accessors share one cached sorted view,
+    invalidated by a dirty bit on :meth:`record` — a full report
+    (:meth:`percentile_summary_ms`) costs one O(n log n) sort no matter
+    how many quantiles it reads, instead of one sort *per accessor* as
+    the seed did.  With million-sample scenario series the repeated
+    sorts showed up in wall-clock.
+    """
 
     def __init__(self):
         self._samples: List[float] = []
+        self._sorted: List[float] = []
+        self._dirty = False
 
     def record(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ValueError(f"negative latency {latency_us}")
         self._samples.append(latency_us)
+        self._dirty = True
+
+    def _ordered(self) -> List[float]:
+        if self._dirty:
+            self._sorted = sorted(self._samples)
+            self._dirty = False
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -47,9 +65,9 @@ class LatencySeries:
     def percentile_us(self, p: float) -> float:
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
+        ordered = self._ordered()
         rank = (p / 100.0) * (len(ordered) - 1)
         low = math.floor(rank)
         high = math.ceil(rank)
@@ -59,7 +77,7 @@ class LatencySeries:
         return ordered[low] * (1 - frac) + ordered[high] * frac
 
     def max_us(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._ordered()[-1] if self._samples else 0.0
 
     def count_over(self, threshold_us: Optional[float]) -> int:
         """Samples strictly above ``threshold_us`` (0 when ``None``).
@@ -69,7 +87,8 @@ class LatencySeries:
         """
         if threshold_us is None:
             return 0
-        return sum(1 for sample in self._samples if sample > threshold_us)
+        ordered = self._ordered()
+        return len(ordered) - bisect_right(ordered, threshold_us)
 
     def percentile_summary_ms(self) -> Dict[str, float]:
         """The figure-ready percentile series: mean/p50/p99/max in ms."""

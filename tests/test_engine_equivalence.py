@@ -1,0 +1,379 @@
+"""Differential oracle harness: production engine vs seed heap engine.
+
+The production engine (`repro.sim.engine.Engine`) stages events through
+a ready queue, a sorted batch, a timer wheel and an overflow heap; the
+reference engine (`repro.sim.reference.ReferenceEngine`) is the seed's
+single binary heap.  The contract — the pattern ``test_exec_tier.py``
+established for the codegen tier — is that the staging must be
+invisible: identical schedules produce identical firing sequences and
+final clocks, so any divergence is a production-engine bug by
+definition.
+
+Schedules are interpreted twice from small declarative "op" programs so
+both engines see the exact same structure: mixed zero/ulp/short/slot-
+boundary/long delays, exact ``at()`` timestamps, chained reschedules
+(events scheduling more events), ``run(until)`` pause/resume, one-shot
+events with multiple waiters, and generator processes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import _NSLOTS, _SLOT_US, Engine
+from repro.sim.reference import ReferenceEngine
+
+# -- schedule programs -------------------------------------------------------
+#
+# A program is a list of root ops; each op may carry children that its
+# callback performs when it fires.  Ops:
+#   ("sched", delay, children)   schedule(delay) a callback
+#   ("at", offset, children)     at(now + offset) — exact absolute time
+#   ("proc", [delays])           process sleeping through the delays
+#   ("event", trigger_delay, n)  event with n waiters, triggered later
+
+# Delays that poke every staging boundary: the same tick, sub-ulp
+# arithmetic, sub-slot fractions, exact slot edges, the wheel span edge
+# and far-future overflow.
+DELAYS = [
+    0.0,
+    1e-9,
+    0.5,
+    1.0,
+    7.25,
+    _SLOT_US - 1e-6,
+    _SLOT_US,
+    _SLOT_US + 0.125,
+    3 * _SLOT_US,
+    1000.0,
+    _SLOT_US * _NSLOTS - _SLOT_US,
+    _SLOT_US * _NSLOTS,
+    _SLOT_US * _NSLOTS + 12.5,
+    1e9,
+]
+
+delay_st = st.sampled_from(DELAYS) | st.floats(
+    min_value=0.0, max_value=1e7, allow_nan=False, width=32
+)
+
+op_st = st.deferred(
+    lambda: st.one_of(
+        st.tuples(st.just("sched"), delay_st, children_st),
+        st.tuples(st.just("at"), delay_st, children_st),
+        st.tuples(st.just("proc"), st.lists(delay_st, max_size=3)),
+        st.tuples(
+            st.just("event"),
+            delay_st,
+            st.integers(min_value=0, max_value=3),
+        ),
+    )
+)
+children_st = st.lists(op_st, max_size=3)
+program_st = st.lists(op_st, min_size=1, max_size=8)
+
+
+def interpret(engine, program, trace):
+    """Install ``program``'s root ops on ``engine``, tracing firings."""
+    counter = [0]
+
+    def fresh_label():
+        counter[0] += 1
+        return counter[0]
+
+    def install(op):
+        kind = op[0]
+        label = fresh_label()
+        if kind == "sched":
+            _, delay, children = op
+            engine.schedule(delay, fire, label, children)
+        elif kind == "at":
+            _, offset, children = op
+            engine.at(engine.now + offset, fire, label, children)
+        elif kind == "proc":
+            _, delays = op
+
+            def proc(label=label, delays=delays):
+                for i, delay in enumerate(delays):
+                    trace.append(("proc", label, i, engine.now))
+                    yield engine.timeout(delay)
+                trace.append(("proc-done", label, engine.now))
+                return label
+
+            engine.process(proc())
+        elif kind == "event":
+            _, delay, waiters = op
+            event = engine.event()
+            for i in range(waiters):
+                event.add_callback(
+                    lambda payload, label=label, i=i: trace.append(
+                        ("waiter", label, i, payload, engine.now)
+                    )
+                )
+            engine.schedule(delay, event.trigger, label)
+            event.add_callback(
+                lambda payload, label=label: trace.append(
+                    ("late-waiter", label, payload, engine.now)
+                )
+            )
+
+    def fire(label, children):
+        trace.append(("fire", label, engine.now))
+        for child in children:
+            install(child)
+
+    for op in program:
+        install(op)
+
+
+def wheel_engine():
+    """Production engine with the small-set heap preference disabled,
+    so the wheel/batch stages engage from the very first event and the
+    fuzzer's small schedules exercise them too."""
+    engine = Engine()
+    engine._heap_pref = 0
+    return engine
+
+
+#: The oracle first, then the production engine in both routing regimes.
+ENGINE_FACTORIES = (ReferenceEngine, Engine, wheel_engine)
+
+
+def run_all(program, until_points=()):
+    """Run the program on every engine; return (trace, clocks, pendings)."""
+    results = []
+    for factory in ENGINE_FACTORIES:
+        engine = factory()
+        trace = []
+        interpret(engine, program, trace)
+        clocks = []
+        pendings = []
+        for until in until_points:
+            clocks.append(engine.run(until=until))
+            pendings.append(engine.pending())
+        clocks.append(engine.run())
+        pendings.append(engine.pending())
+        results.append((trace, clocks, pendings))
+    return results
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=program_st)
+def test_firing_sequences_identical(program):
+    reference, *others = run_all(program)
+    for other in others:
+        assert other == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    program=program_st,
+    until_points=st.lists(
+        st.floats(min_value=0.0, max_value=2e9, allow_nan=False),
+        max_size=3,
+    ).map(sorted),
+)
+def test_run_until_pauses_identical(program, until_points):
+    reference, *others = run_all(program, until_points)
+    for other in others:
+        assert other == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    program=program_st,
+    mid_ops=st.lists(op_st, max_size=4),
+    pause=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_scheduling_between_runs_identical(program, mid_ops, pause):
+    """Ops installed while the engine is paused must replay identically."""
+    results = []
+    for factory in ENGINE_FACTORIES:
+        engine = factory()
+        trace = []
+        interpret(engine, program, trace)
+        engine.run(until=pause)
+        interpret(engine, mid_ops, trace)
+        final = engine.run()
+        results.append((trace, final, engine.pending()))
+    for other in results[1:]:
+        assert other == results[0]
+
+
+class TestExactAt:
+    """`at()` must hit the requested absolute time to the last ulp."""
+
+    def test_at_is_exact_even_when_delta_roundtrip_is_not(self):
+        # A double-rounding trap: target - now ties to even (down), and
+        # now + that delta ties to even (down again), so the seed's
+        # ``when - now`` → ``now + delay`` round-trip fires two ulps
+        # *early* — before other events keyed on the requested time.
+        now_anchor = 1.0
+        target = 2.0**53 + 2.0
+        assert (target - now_anchor) + now_anchor != target  # the seed bug
+        for engine_cls in (ReferenceEngine, Engine):
+            engine = engine_cls()
+            stamps = []
+            engine.schedule(now_anchor, lambda: None)
+            engine.run()
+            engine.at(target, lambda: stamps.append(engine.now))
+            engine.run()
+            assert stamps == [target], engine_cls.__name__
+
+    def test_at_shares_timestamp_key_with_other_at_calls(self):
+        engine = Engine()
+        order = []
+        base = 123456.789
+        engine.schedule(100.0, lambda: engine.at(base, order.append, "a"))
+        engine.at(base, order.append, "b")
+        engine.run()
+        # Both land on the identical float key; seq breaks the tie.
+        assert order == ["b", "a"]
+
+    def test_at_in_the_past_rejected(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(5.0, lambda: None)
+
+    def test_at_now_fires_same_tick(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: engine.at(engine.now, seen.append, "x"))
+        engine.run()
+        assert seen == ["x"]
+        assert engine.now == 5.0
+
+
+class TestStagingBoundaries:
+    """Directed cases for wheel/batch/overflow seams the fuzzer may miss."""
+
+    def test_ulp_delay_fires_at_now_after_queued_tick(self):
+        engine = wheel_engine()
+        order = []
+        big = 1e12
+
+        def at_big():
+            engine.schedule(0.0, order.append, "tick")
+            engine.schedule(1e-9, order.append, "ulp")  # now + d == now
+            assert engine.now + 1e-9 == engine.now
+
+        engine.schedule(big, at_big)
+        engine.run()
+        assert order == ["tick", "ulp"]
+        assert engine.now == big
+
+    def test_dense_same_slot_ordering(self):
+        engine = wheel_engine()
+        fired = []
+        times = [0.5, 15.9, 3.25, 15.9, 0.5, 8.0]  # all in wheel slot 0
+        for i, t in enumerate(times):
+            engine.at(t, fired.append, (t, i))
+        engine.run()
+        assert fired == sorted(fired, key=lambda x: (x[0], x[1]))
+
+    def test_overflow_event_interleaves_with_wheel_window(self):
+        engine = wheel_engine()
+        fired = []
+        span = _SLOT_US * _NSLOTS
+        # Beyond the wheel horizon at insert time -> overflow heap.
+        engine.at(span + 100.0, fired.append, "far")
+        # Walk the clock forward so the wheel window slides past "far",
+        # then add wheel events straddling it.
+        engine.at(span + 50.0, lambda: engine.schedule(49.0, fired.append, "near"))
+        engine.at(span + 50.0, lambda: engine.schedule(51.0, fired.append, "after"))
+        engine.run()
+        assert fired == ["near", "far", "after"]
+
+    def test_equal_nonzero_timestamp_run_drains_in_seq_order(self):
+        engine = wheel_engine()
+        fired = []
+        when = 4096.0
+        for i in range(100):
+            engine.at(when, fired.append, i)
+        # A same-timestamp child scheduled during the run fires after
+        # every pre-scheduled entry (larger seq), before time moves on.
+        engine.at(when, lambda: engine.schedule(0.0, fired.append, "child"))
+        engine.at(when + 1.0, fired.append, "later")
+        engine.run()
+        assert fired == list(range(100)) + ["child", "later"]
+
+    def test_heap_gallop_keeps_wheel_usable(self):
+        engine = wheel_engine()
+        fired = []
+        span = _SLOT_US * _NSLOTS
+
+        def hop(n):
+            fired.append((n, engine.now))
+            if n < 4:
+                # Far beyond the wheel window every time: the clock
+                # gallops via the overflow heap...
+                engine.schedule(2 * span, hop, n + 1)
+                # ...while short delays must keep firing in between.
+                engine.schedule(1.0, fired.append, ("short", n))
+
+        hop(0)
+        engine.run()
+        kinds = [f[0] for f in fired]
+        assert kinds == [0, "short", 1, "short", 2, "short", 3, "short", 4]
+
+    def test_reschedule_into_promoted_region_insorts(self):
+        engine = wheel_engine()
+        fired = []
+        # Promote slot coverage out to ~48µs, then schedule into the
+        # already-promoted region from a callback: must interleave.
+        engine.at(40.0, fired.append, "a40")
+        engine.at(48.0, fired.append, "a48")
+        engine.at(8.0, lambda: engine.at(44.0, fired.append, "mid"))
+        engine.run()
+        assert fired == ["a40", "mid", "a48"]
+
+    def test_pending_counts_all_stages(self):
+        engine = wheel_engine()
+        engine.schedule(0.0, lambda: None)          # ready
+        engine.at(10.0, lambda: None)               # wheel
+        engine.at(_SLOT_US * _NSLOTS * 3, lambda: None)  # overflow
+        assert engine.pending() == 3
+        engine.run(until=5.0)
+        assert engine.pending() == 2
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_huge_and_infinite_times_go_to_overflow(self):
+        engine = wheel_engine()
+        fired = []
+        engine.at(1e300, fired.append, "huge")
+        engine.at(math.inf, fired.append, "inf")
+        engine.schedule(1.0, fired.append, "soon")
+        engine.run(until=1e301)
+        assert fired == ["soon", "huge"]
+        assert engine.pending() == 1
+
+    def test_small_pending_sets_prefer_the_heap(self):
+        # Routing is a performance policy, not a semantic one: below the
+        # heap-preference threshold, near-future events live in the
+        # overflow heap (cache-resident C push/pop) instead of paying
+        # the wheel's bucket and promotion constants.
+        engine = Engine()
+        for i in range(10):
+            engine.at(10.0 + i, lambda: None)
+        assert engine._wheel_count == 0
+        assert len(engine._heap) == 10
+        engine.run()
+        assert engine.now == 19.0
+
+    def test_wheel_engages_beyond_heap_preference(self):
+        engine = Engine()
+        engine._heap_pref = 4
+        fired = []
+        for i in range(8):
+            engine.at(10.0 + i, fired.append, i)
+        assert len(engine._heap) == 4
+        assert engine._wheel_count == 4
+        engine.run()
+        assert fired == list(range(8))

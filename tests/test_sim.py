@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.errors import SimulationError
 from repro.core.units import GBPS, MBPS
+from repro.core.units import transmission_time_us
 from repro.net.simnet import HOP_LATENCY_US, Network, RateLimiter, WIRE_OVERHEAD
 from repro.net.tcp import TcpNetwork
 from repro.sim.engine import Engine
@@ -182,11 +183,100 @@ class TestZeroDelayReadyQueue:
         assert engine.now == 3
 
 
+class TestControlFrameOrdering:
+    """Zero-byte control frames must not overtake queued data.
+
+    Regression tests for the seed bug where ``deliver()`` set
+    ``depart = now`` for ``nbytes == 0``, letting a FIN (or SYN) leave
+    the host immediately while earlier-sent data was still serialising
+    behind ``src.tx.busy_until`` — delivering EOF before bytes on a
+    supposedly ordered stream.
+    """
+
+    def test_zero_byte_frame_claims_sender_nic_queue(self):
+        # The sender's NIC is busy for ~8.5 ms serialising data to b; a
+        # control frame to c (whose idle rx can't mask the bug) must
+        # depart behind it, not teleport past the tx queue.
+        engine = Engine()
+        net = Network(engine)
+        a = net.add_host("a", 1 * GBPS, "core")
+        b = net.add_host("b", 1 * GBPS, "core")
+        c = net.add_host("c", 10 * GBPS, "core")
+        net.deliver(a, b, 1_000_000, lambda: None)
+        tx_busy_until = a.tx.busy_until
+        assert tx_busy_until > 8_000
+        fin_arrival = net.deliver(a, c, 0, lambda: None)
+        assert fin_arrival >= tx_busy_until
+
+    def test_same_stream_fin_never_beats_data(self):
+        engine = Engine()
+        net = Network(engine)
+        a = net.add_host("a", 1 * GBPS, "core")
+        b = net.add_host("b", 10 * GBPS, "core")
+        order = []
+        net.deliver(a, b, 1_000_000, lambda: order.append("data"))
+        net.deliver(a, b, 0, lambda: order.append("fin"))
+        engine.run()
+        assert order == ["data", "fin"]
+
+    def test_fin_after_large_send_delivers_data_before_eof(self):
+        engine = Engine()
+        net = TcpNetwork(engine)
+        a = net.add_host("a", 1 * GBPS, "edge")
+        b = net.add_host("b", 10 * GBPS, "core")
+        order = []
+
+        def accept(sock):
+            sock.on_receive(lambda data: order.append(("data", len(data))))
+            sock.on_close(lambda: order.append(("close", engine.now)))
+
+        net.listen(b, 80, accept)
+
+        def connected(sock):
+            # ~8 ms of serialisation at the 1 Gbps NIC, then an
+            # immediate FIN: the FIN must queue behind the payload.
+            sock.send(b"x" * 1_000_000)
+            sock.close()
+
+        net.connect(a, b, 80, connected)
+        engine.run()
+        assert order, "nothing delivered"
+        assert order[0][0] == "data"
+        assert order[-1][0] == "close"
+        assert [kind for kind, _ in order].count("close") == 1
+
+
 class TestRateLimiter:
     def test_transmission_time(self):
         rl = RateLimiter(1 * GBPS)
         end = rl.transmit(0.0, 125_000)  # 1 Mbit payload
         assert end == pytest.approx(1000.0 * WIRE_OVERHEAD, rel=0.01)
+
+    def test_fractional_wire_bytes_charged_exactly(self):
+        # 1448-byte payload inflates to exactly 1538 wire bytes; the
+        # seed's int() truncation used to undercharge the fraction on
+        # every other size.
+        rl = RateLimiter(1 * GBPS)
+        end = rl.transmit(0.0, 1448)
+        assert end == transmission_time_us(1538, 1 * GBPS)
+        assert end == pytest.approx(12.304, abs=1e-3)
+
+    def test_transmission_time_us_pinned(self):
+        # The cost model the whole network hangs off: 8 bits/byte at
+        # rate_bps, in µs — including fractional wire bytes.
+        assert transmission_time_us(125_000, 1 * GBPS) == 1000.0
+        assert transmission_time_us(1, 1 * GBPS) == pytest.approx(0.008)
+        assert transmission_time_us(100.5, 1 * GBPS) == pytest.approx(0.804)
+
+    def test_no_truncation_accumulation_over_frames(self):
+        # 1000 one-byte frames: wire bytes 1.0621... each; truncation
+        # used to bill int(1.06) = 1 wire byte per frame (~6% under).
+        rl = RateLimiter(1 * GBPS)
+        end = 0.0
+        for _ in range(1000):
+            end = rl.transmit(0.0, 1)
+        expected = transmission_time_us(1000 * WIRE_OVERHEAD, 1 * GBPS)
+        assert end == pytest.approx(expected, rel=1e-9)
 
     def test_serialisation_of_back_to_back_sends(self):
         rl = RateLimiter(1 * GBPS)
@@ -288,6 +378,7 @@ class TestTcp:
         net.connect(a, b, 80, lambda s: s.send(b"early"))
         engine.run()
         sockets[0].on_receive(got.append)
+        engine.run()  # buffered flush is deferred through the engine
         assert got == [b"early"]
 
     def test_send_on_closed_socket_rejected(self):
@@ -316,3 +407,92 @@ class TestTcp:
         net.listen(b, 80, lambda s: None)
         with pytest.raises(SimulationError):
             net.listen(b, 80, lambda s: None)
+
+
+class TestTcpCallbackDelivery:
+    """Data and EOF delivery must be engine-ordered and stream-ordered:
+    buffered chunks flush on a deferred tick, EOF never precedes data
+    that arrived before it, and registration order cannot invert them."""
+
+    def _pair(self):
+        engine = Engine()
+        net = TcpNetwork(engine)
+        a = net.add_host("a", 1 * GBPS, "edge")
+        b = net.add_host("b", 10 * GBPS, "core")
+        return engine, net, a, b
+
+    def _arrived(self, send_close=True):
+        """A server socket holding buffered data (+ peer EOF), no
+        callbacks registered yet."""
+        engine, net, a, b = self._pair()
+        sockets = []
+        net.listen(b, 80, sockets.append)
+
+        def connected(sock):
+            sock.send(b"payload")
+            if send_close:
+                sock.close()
+
+        net.connect(a, b, 80, connected)
+        engine.run()
+        return engine, sockets[0]
+
+    def test_close_then_receive_registration_still_data_first(self):
+        # Seed bug: on_close deferred while on_receive flushed
+        # synchronously, so ordering depended on registration order.
+        # Registering on_close *first* must still deliver data first.
+        engine, sock = self._arrived()
+        order = []
+        sock.on_close(lambda: order.append("close"))
+        sock.on_receive(lambda data: order.append(("data", data)))
+        engine.run()
+        assert order == [("data", b"payload"), "close"]
+
+    def test_receive_then_close_registration_same_order(self):
+        engine, sock = self._arrived()
+        order = []
+        sock.on_receive(lambda data: order.append(("data", data)))
+        sock.on_close(lambda: order.append("close"))
+        engine.run()
+        assert order == [("data", b"payload"), "close"]
+
+    def test_buffered_flush_is_deferred_not_synchronous(self):
+        engine, sock = self._arrived(send_close=False)
+        got = []
+        sock.on_receive(got.append)
+        assert got == []  # flush rides the engine, not the registration
+        engine.run()
+        assert got == [b"payload"]
+
+    def test_eof_withheld_until_buffered_data_drained(self):
+        # Stream semantics: EOF must not be observable while earlier
+        # bytes sit undelivered in the receive buffer. The seed fired
+        # the close callback regardless, so a late on_receive
+        # registration saw EOF before the data that preceded it.
+        engine, sock = self._arrived()
+        order = []
+        sock.on_close(lambda: order.append("close"))
+        engine.run()
+        assert order == []  # data still buffered: EOF withheld
+        sock.on_receive(lambda data: order.append(("data", data)))
+        engine.run()
+        assert order == [("data", b"payload"), "close"]
+
+    def test_bytes_dropped_after_local_close_counted(self):
+        engine, net, a, b = self._pair()
+        server_sockets = []
+
+        def accept(sock):
+            sock.on_receive(lambda data: None)
+            server_sockets.append(sock)
+
+        net.listen(b, 80, accept)
+        clients = []
+        net.connect(a, b, 80, clients.append)
+        engine.run()
+        server = server_sockets[0]
+        clients[0].send(b"in flight")
+        server.closed = True  # local close races the delivery
+        engine.run()
+        assert server.bytes_received == 0
+        assert server.bytes_dropped == len(b"in flight")

@@ -134,6 +134,28 @@ class TestLatencySeries:
         with pytest.raises(ValueError):
             series.percentile_us(101)
 
+    def test_sorted_cache_invalidated_by_record(self):
+        # The sorted view is cached between reads; a record() in between
+        # must invalidate it, not serve stale quantiles.
+        series = LatencySeries()
+        for v in (30.0, 10.0, 20.0):
+            series.record(v)
+        assert series.max_us() == 30.0
+        assert series.percentile_us(50) == 20.0
+        series.record(40.0)
+        assert series.max_us() == 40.0
+        assert series.percentile_us(100) == 40.0
+        assert series.count_over(25.0) == 2
+
+    def test_count_over_is_strict_and_handles_duplicates(self):
+        series = LatencySeries()
+        for v in (1.0, 2.0, 2.0, 3.0):
+            series.record(v)
+        assert series.count_over(2.0) == 1  # strictly above
+        assert series.count_over(0.5) == 4
+        assert series.count_over(3.0) == 0
+        assert series.count_over(None) == 0
+
 
 class TestMeter:
     def test_rates(self):
