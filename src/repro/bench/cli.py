@@ -16,6 +16,10 @@ Usage::
     python -m repro.bench scenarios --scenario http-overload-open
     python -m repro.bench scenarios --scenario http-overload-shed \\
         --admission shed-bronze --allocator queue-depth
+    python -m repro.bench scenarios --list            # names + axes, no run
+    python -m repro.bench scenarios --quick --jobs 4  # parallel smoke run
+    python -m repro.bench scenarios --scenario http-open-poisson \\
+        --shards 4 --routing least-loaded   # cluster-tier override
     python -m repro.bench scenarios --quick \\
         --baseline benchmarks/baseline_scenarios.json   # CI perf gate
     python -m repro.bench all --quick # everything, reduced sizes
@@ -40,12 +44,14 @@ from repro.core.errors import ConfigError, RuntimeFlickError
 from repro.bench import results as results_io
 from repro.bench.report import (
     format_policy_table,
+    format_scenario_listing,
     format_scenario_table,
     format_series_chart,
     format_service_class_table,
     results_to_series,
     summarize,
 )
+from repro.cluster import registered_routings, unknown_routing_message
 from repro.bench.scenarios import (
     resolve_scenario_selection,
     run_scenario_matrix,
@@ -199,12 +205,17 @@ def _service_classes(args):
 
 
 def _scenario_overrides(args) -> dict:
-    """Pinned-field overrides from ``--allocator`` / ``--admission``."""
+    """Pinned-field overrides from ``--allocator`` / ``--admission`` /
+    ``--shards`` / ``--routing``."""
     overrides = {}
     if getattr(args, "allocator", None) is not None:
         overrides["allocator"] = args.allocator
     if getattr(args, "admission", None) is not None:
         overrides["admission"] = args.admission
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
+    if getattr(args, "routing", None) is not None:
+        overrides["routing"] = args.routing
     return overrides
 
 
@@ -232,6 +243,9 @@ def _scenarios(args) -> int:
         selected = tuple(
             scenario._replace(**overrides) for scenario in selected
         )
+    if args.list_scenarios:
+        print(format_scenario_listing(selected))
+        return 0
     suffix = "".join(
         f", {field}={value}" for field, value in sorted(overrides.items())
     )
@@ -240,7 +254,7 @@ def _scenarios(args) -> int:
         f"{', quick' if args.quick else ''}{suffix}) =="
     )
     results = run_scenario_matrix(
-        selected, quick=args.quick, exec_tier=args.exec_tier
+        selected, quick=args.quick, exec_tier=args.exec_tier, jobs=args.jobs
     )
     print(format_scenario_table(results))
     document = results_io.results_document(results, quick=args.quick)
@@ -367,6 +381,43 @@ def main(argv: List[str] = None) -> int:
         f"Registered: {', '.join(registered_admissions())}.",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scenarios only: run the selected scenarios in N worker "
+        "processes. Output is byte-identical to --jobs 1 (every "
+        "scenario scopes its task ids and seeds); only wall-clock time "
+        "changes.",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenarios only: override the cluster-tier shard count on "
+        "every selected scenario. N > 1 puts N FLICK platforms behind "
+        "one consistent-hash shard router (http_lb open-loop scenarios "
+        "only); combine with --scenario to target specific entries.",
+    )
+    parser.add_argument(
+        "--routing",
+        default=None,
+        metavar="NAME",
+        help="scenarios only: override the cross-shard routing policy "
+        "on every selected scenario; needs --shards > 1 (typos get a "
+        "near-miss suggestion). "
+        f"Registered: {', '.join(registered_routings())}.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="scenarios only: print the selected scenario names and "
+        "their axes (app, arrival, policy, shards, routing, ...) "
+        "without running anything, then exit 0.",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -404,6 +455,15 @@ def main(argv: List[str] = None) -> int:
             and args.admission not in registered_admissions()
         ):
             raise ConfigError(unknown_admission_message(args.admission))
+        if args.jobs < 1:
+            raise ConfigError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.shards is not None and args.shards < 1:
+            raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+        if (
+            args.routing is not None
+            and args.routing not in registered_routings()
+        ):
+            raise ConfigError(unknown_routing_message(args.routing))
     except (RuntimeFlickError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

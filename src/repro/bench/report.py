@@ -150,6 +150,7 @@ def format_scenario_table(results: Dict[str, dict]) -> str:
                 slo.get("misses", 0),
                 entry.get("admission", {}).get("shed", 0),
                 entry.get("steals", {}).get("steals", 0),
+                entry.get("cluster", {}).get("shards", 1),
             )
         )
     if not rows:
@@ -165,6 +166,56 @@ def format_scenario_table(results: Dict[str, dict]) -> str:
             "slo_misses",
             "shed",
             "steals",
+            "shards",
+        ),
+        rows,
+    )
+
+
+def format_scenario_listing(scenarios) -> str:
+    """One row per :class:`~repro.bench.scenarios.Scenario` definition.
+
+    The ``scenarios --list`` view: every axis a matrix entry pins,
+    without running anything.
+    """
+    rows = []
+    for scenario in scenarios:
+        rows.append(
+            (
+                scenario.name,
+                scenario.app,
+                scenario.arrival or "closed-loop",
+                scenario.policy,
+                scenario.allocator,
+                scenario.admission,
+                scenario.shards,
+                scenario.routing if scenario.shards > 1 else "-",
+                (
+                    f"@{scenario.fail_shard_at_us:g}us"
+                    if scenario.fail_shard_at_us is not None
+                    else "-"
+                ),
+                scenario.cores,
+                scenario.connections,
+                scenario.requests,
+            )
+        )
+    if not rows:
+        return "(no scenarios selected)"
+    return format_table(
+        (
+            "scenario",
+            "app",
+            "arrival",
+            "policy",
+            "allocator",
+            "admission",
+            "shards",
+            "routing",
+            "fail",
+            "cores",
+            "conns",
+            "requests",
         ),
         rows,
     )

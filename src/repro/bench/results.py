@@ -28,8 +28,11 @@ from repro.core.errors import ConfigError
 #: Bump when the document layout changes shape (not when scenarios are
 #: added/removed — the comparison handles that).  v2 added the
 #: per-scenario "allocator" section and (on open-loop entries) the
-#: "admission" section with per-class shed counts.
-SCHEMA_VERSION = 2
+#: "admission" section with per-class shed counts.  v3 added the
+#: top-level "failed" count (requests lost to dead connections), a
+#: per-class "failed" in the admission section, and (on sharded
+#: entries) the "cluster" section with routing/failover counters.
+SCHEMA_VERSION = 3
 
 #: CI gate defaults (ISSUE: fail if throughput drops >10% or p99 rises >15%).
 MAX_THROUGHPUT_DROP_PCT = 10.0

@@ -20,9 +20,11 @@ the blind spot of ApacheBench-style evaluation, now a pinned number.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, NamedTuple, Optional, Sequence, Tuple
 
 from repro.apps import hadoop_agg, http_lb, memcached_proxy
+from repro.cluster import registered_routings, unknown_routing_message
 from repro.core.errors import ConfigError
 from repro.bench.testbeds import (
     run_hadoop_experiment,
@@ -82,6 +84,13 @@ class Scenario(NamedTuple):
     #: ``((class_name, weight), ...)`` service-class labels applied to
     #: arrivals by weighted round-robin (open-loop scenarios only).
     class_mix: Tuple[Tuple[str, float], ...] = ()
+    #: Cluster tier: platforms behind one shard router (1 = classic
+    #: single-middlebox path, no router in the topology).
+    shards: int = 1
+    #: Registered routing-policy name (shards > 1 only).
+    routing: str = "hash-affinity"
+    #: Kill the highest-indexed shard at this virtual µs (shards > 1).
+    fail_shard_at_us: Optional[float] = None
 
 
 def _burst_trace(
@@ -220,6 +229,60 @@ SCENARIOS: Tuple[Scenario, ...] = (
         requests=4096,
         slo_ms=2.0,
     ),
+    # Cluster-tier scaling curve: the SAME open-loop offered load
+    # (800 kreq/s, far past one shard's ~110 kreq/s saturation point)
+    # against 1, 2 and 4 shards — completion throughput must scale
+    # with the fleet (the CI gate pins >= 1.7x per doubling).  The
+    # multi-shard points route least-loaded (power-of-two-choices):
+    # connection-granular hash placement is binomially imbalanced at
+    # this pool size and would cap the 4-shard point below the gate.
+    Scenario(
+        name="http-fleet-scale-1",
+        app="http_lb",
+        mode="web",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 800_000.0),),
+        connections=128,
+        requests=8192,
+    ),
+    Scenario(
+        name="http-fleet-scale-2",
+        app="http_lb",
+        mode="web",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 800_000.0),),
+        connections=128,
+        requests=8192,
+        shards=2,
+        routing="least-loaded",
+    ),
+    Scenario(
+        name="http-fleet-scale-4",
+        app="http_lb",
+        mode="web",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 800_000.0),),
+        connections=128,
+        requests=8192,
+        shards=4,
+        routing="least-loaded",
+    ),
+    # Failover drill: a 2-shard fleet at comfortable load loses one
+    # shard mid-run.  The ring hands the dead segment to the survivor,
+    # severed clients reconnect, and the fleet finishes degraded but
+    # alive — bounded in-flight failures, no metastable collapse (the
+    # CI gate pins completion and failure envelopes).
+    Scenario(
+        name="http-fleet-failover",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 60_000.0),),
+        connections=64,
+        requests=8192,
+        slo_ms=5.0,
+        shards=2,
+        fail_shard_at_us=10_000.0,
+    ),
     Scenario(
         name="hadoop-ramp-mappers",
         app="hadoop_agg",
@@ -340,6 +403,49 @@ def _validate_scenario(scenario: Scenario) -> None:
             "request/response app (closed-loop clients self-throttle "
             "and hadoop mapper streams are not per-request workloads)"
         )
+    if scenario.shards < 1:
+        raise ConfigError(
+            f"scenario {scenario.name!r}: shards must be >= 1, got "
+            f"{scenario.shards}"
+        )
+    if scenario.shards == 1:
+        # Same no-silent-drop rule as above: cluster knobs on a
+        # single-middlebox scenario would report a config that never ran.
+        if scenario.routing != "hash-affinity":
+            raise ConfigError(
+                f"scenario {scenario.name!r}: routing={scenario.routing!r} "
+                "needs shards > 1"
+            )
+        if scenario.fail_shard_at_us is not None:
+            raise ConfigError(
+                f"scenario {scenario.name!r}: fail_shard_at_us needs "
+                "shards > 1"
+            )
+    else:
+        if scenario.app != "http_lb":
+            raise ConfigError(
+                f"scenario {scenario.name!r}: the cluster tier shards "
+                "http_lb platforms only"
+            )
+        if scenario.arrival is None:
+            raise ConfigError(
+                f"scenario {scenario.name!r}: the cluster tier needs an "
+                "open-loop arrival process (connection-failure "
+                "accounting lives there)"
+            )
+        if scenario.routing not in registered_routings():
+            raise ConfigError(
+                f"scenario {scenario.name!r}: "
+                + unknown_routing_message(scenario.routing)
+            )
+        if (
+            scenario.fail_shard_at_us is not None
+            and scenario.fail_shard_at_us <= 0
+        ):
+            raise ConfigError(
+                f"scenario {scenario.name!r}: fail_shard_at_us must be "
+                f"positive, got {scenario.fail_shard_at_us:g}"
+            )
 
 
 def run_scenario(
@@ -406,6 +512,9 @@ def run_scenario(
                 total_requests=requests,
                 admission=admission,
                 class_mix=scenario.class_mix,
+                shards=scenario.shards,
+                routing=scenario.routing,
+                fail_shard_at_us=scenario.fail_shard_at_us,
                 **common,
             )
             unit = "kreq/s"
@@ -451,6 +560,7 @@ def run_scenario(
         "requests": requests,
         "offered": offered,
         "completed": completed,
+        "failed": int(extra.get("failed", 0)),
         "measured": measured,
         "errors": int(extra.get("errors", 0)),
         "throughput": result.throughput,
@@ -502,16 +612,53 @@ def run_scenario(
             "p50": extra["arrival_gap_p50_us"],
             "p99": extra["arrival_gap_p99_us"],
         }
+    if result.cluster_stats:
+        entry["cluster"] = result.cluster_stats
     return entry
+
+
+def _scenario_job(
+    scenario: Scenario, quick: bool, exec_tier: str
+) -> Tuple[str, dict]:
+    """Worker-process entry point for the parallel matrix runner."""
+    return scenario.name, run_scenario(
+        scenario, quick=quick, exec_tier=exec_tier
+    )
 
 
 def run_scenario_matrix(
     scenarios: Sequence[Scenario],
     quick: bool = False,
     exec_tier: str = "compiled",
+    jobs: int = 1,
 ) -> Dict[str, dict]:
-    """Run ``scenarios`` in order; map name → JSON-ready result."""
-    return {
-        scenario.name: run_scenario(scenario, quick=quick, exec_tier=exec_tier)
-        for scenario in scenarios
-    }
+    """Run ``scenarios``; map name → JSON-ready result, selection order.
+
+    ``jobs`` > 1 fans the scenarios out over that many worker
+    processes.  The output is byte-identical to the serial run:
+    :func:`run_scenario` scopes every global (task ids, seeded RNGs)
+    per scenario, so a scenario's numbers never depend on which process
+    ran it or what ran before it — parallelism only changes wall-clock
+    time.  Results are collected in selection order regardless of
+    completion order.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(scenarios) <= 1:
+        return {
+            scenario.name: run_scenario(
+                scenario, quick=quick, exec_tier=exec_tier
+            )
+            for scenario in scenarios
+        }
+    # Config errors surface here, in the parent, not as opaque
+    # worker-process tracebacks.
+    for scenario in scenarios:
+        _validate_scenario(scenario)
+    workers = min(jobs, len(scenarios))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_scenario_job, scenario, quick, exec_tier)
+            for scenario in scenarios
+        ]
+        return dict(future.result() for future in futures)

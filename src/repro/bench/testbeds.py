@@ -23,6 +23,7 @@ from repro.apps import hadoop_agg, http_lb, memcached_proxy
 from repro.baselines.apache import ApacheServer
 from repro.baselines.moxi import MoxiProxy
 from repro.baselines.nginx import NginxServer
+from repro.cluster import ShardRouter
 from repro.core.units import GBPS, throughput_mbps
 from repro.net.tcp import TcpNetwork
 from repro.runtime.costs import RuntimeConfig
@@ -101,6 +102,31 @@ def _alloc_extra(platform: Optional[FlickPlatform]) -> dict:
     }
 
 
+def _fleet_steal_extra(platforms) -> dict:
+    """Shard-summed :func:`_steal_extra` (same keys, fleet totals)."""
+    totals = {"steals": 0.0, "stolen_tasks": 0.0, "steal_us": 0.0}
+    for platform in platforms:
+        for key, value in _steal_extra(platform).items():
+            totals[key] += value
+    return totals
+
+
+def _fleet_alloc_extra(platforms) -> dict:
+    """Fleet view of :func:`_alloc_extra`: counters summed across the
+    shards, ``active_workers_min``/``max`` the tightest/widest any one
+    shard reached, ``final`` the fleet's total live cores at the end."""
+    per_shard = [_alloc_extra(p) for p in platforms]
+    return {
+        "alloc_changes": sum(e["alloc_changes"] for e in per_shard),
+        "alloc_moved_tasks": sum(e["alloc_moved_tasks"] for e in per_shard),
+        "active_workers_min": min(e["active_workers_min"] for e in per_shard),
+        "active_workers_max": max(e["active_workers_max"] for e in per_shard),
+        "active_workers_final": sum(
+            e["active_workers_final"] for e in per_shard
+        ),
+    }
+
+
 def _open_loop_extra(population: OpenLoopClients) -> dict:
     """Client-side latency/SLO/inter-arrival accounting for ``extra``.
 
@@ -115,6 +141,7 @@ def _open_loop_extra(population: OpenLoopClients) -> dict:
         "admitted": float(population.admitted),
         "shed": float(population.shed),
         "completed": float(population.completed),
+        "failed": float(population.failed),
         "measured": float(latency.count),
         "errors": float(population.errors),
         "slo_misses": float(population.slo_misses),
@@ -188,6 +215,9 @@ def run_http_experiment(
     allocator="static",
     admission="admit-all",
     class_mix=(),
+    shards: int = 1,
+    routing="hash-affinity",
+    fail_shard_at_us: Optional[float] = None,
 ) -> RunResult:
     """One data point of Figure 4 (mode='lb') or the §6.3 web test
     (mode='web').
@@ -205,10 +235,60 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
     and ``class_mix`` configure the open-loop population's admission
     control (open loop only — closed-loop clients self-throttle, so
     there is nothing to shed).
+
+    ``shards`` > 1 switches to the cluster tier: ``shards`` identical
+    platforms behind one :class:`~repro.cluster.fleet.ShardRouter`
+    (placement chosen by the registered ``routing`` policy), clients
+    connecting to the router exactly as to one middlebox.
+    ``fail_shard_at_us`` kills the highest-indexed shard at that
+    virtual time (failover drills).  The cluster tier requires a FLICK
+    system and an open-loop ``arrival`` (failure accounting lives in
+    the open-loop population).
     """
     if mode not in ("lb", "web"):
         raise ValueError(f"unknown mode {mode!r}")
     _check_admission_args(arrival, admission, class_mix)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        if fail_shard_at_us is not None:
+            raise ValueError("fail_shard_at_us needs shards > 1")
+        if routing != "hash-affinity":
+            raise ValueError("a non-default routing policy needs shards > 1")
+    else:
+        if system not in FLICK_SYSTEMS:
+            raise ValueError(
+                f"the cluster tier shards FLICK platforms; {system!r} "
+                "is a cost-model baseline"
+            )
+        if arrival is None:
+            raise ValueError(
+                "the cluster tier needs an open-loop arrival process "
+                "(connection-failure accounting lives there)"
+            )
+        return _run_http_fleet(
+            system=system,
+            concurrency=concurrency,
+            mode=mode,
+            cores=cores,
+            requests_per_client=requests_per_client,
+            timeslice_us=timeslice_us,
+            graph_pool_size=graph_pool_size,
+            policy=policy,
+            topology=topology,
+            service_classes=service_classes,
+            slo_us=slo_us,
+            arrival=arrival,
+            total_requests=total_requests,
+            seed=seed,
+            exec_tier=exec_tier,
+            allocator=allocator,
+            admission=admission,
+            class_mix=class_mix,
+            shards=shards,
+            routing=routing,
+            fail_shard_at_us=fail_shard_at_us,
+        )
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     use_backends = mode == "lb"
     if use_backends:
@@ -322,6 +402,140 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
         admission_stats=(
             population.admission_summary() if arrival is not None else {}
         ),
+    )
+
+
+def _run_http_fleet(
+    system: str,
+    concurrency: int,
+    mode: str,
+    cores: int,
+    requests_per_client: int,
+    timeslice_us: float,
+    graph_pool_size: Optional[int],
+    policy,
+    topology,
+    service_classes,
+    slo_us: Optional[float],
+    arrival,
+    total_requests: Optional[int],
+    seed: int,
+    exec_tier: str,
+    allocator,
+    admission,
+    class_mix,
+    shards: int,
+    routing,
+    fail_shard_at_us: Optional[float],
+) -> RunResult:
+    """The sharded half of :func:`run_http_experiment`.
+
+    ``shards`` identical FLICK platforms, each on its own 10 Gbps core
+    host, behind a :class:`~repro.cluster.fleet.ShardRouter` on the
+    public ``mbox`` host; LB mode shares one backend pool across the
+    fleet (the paper's topology, scaled out at the middlebox tier).
+    ``fail_shard_at_us`` kills the highest-indexed shard — the one
+    whose loss exercises ring-segment hand-off to every survivor.
+    """
+    engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
+    use_backends = mode == "lb"
+    if use_backends:
+        _backend_servers = [
+            BackendWebServer(engine, tcpnet, host, 8080)
+            for host in backend_hosts
+        ]
+        targets = [OutboundTarget(host, 8080) for host in backend_hosts]
+    else:
+        targets = []
+
+    router = ShardRouter(engine, tcpnet, mbox, 80, routing=routing, seed=seed)
+    platforms = []
+    for i in range(shards):
+        shard_host = tcpnet.add_host(f"shard{i}", 10 * GBPS, "core")
+        config = RuntimeConfig(
+            cores=cores,
+            stack=_stack_of(system),
+            timeslice_us=timeslice_us,
+            graph_pool_size=(
+                graph_pool_size if graph_pool_size is not None else 512
+            ),
+            policy="cooperative" if policy is None else policy,
+            topology=topology,
+            service_classes=service_classes,
+            slo_us=slo_us,
+            exec_tier=exec_tier,
+            allocator=allocator,
+            admission=admission,
+        )
+        platform = FlickPlatform(
+            engine, tcpnet, shard_host, config, http_lb.http_codec_registry()
+        )
+        if use_backends:
+            platform.register_program(
+                http_lb.compile_http_lb(),
+                "HttpBalancer",
+                80,
+                http_lb.lb_bindings(targets),
+            )
+        else:
+            platform.register_program(
+                http_lb.compile_static_web(), "StaticWeb", 80
+            )
+        platform.start()
+        router.add_shard(platform, 80)
+        platforms.append(platform)
+    router.start()
+    if fail_shard_at_us is not None:
+        router.fail_shard_at(shards - 1, fail_shard_at_us)
+
+    population = OpenLoopClients(
+        engine,
+        tcpnet,
+        clients,
+        mbox,
+        80,
+        codec=HttpRequestCodec(),
+        arrival=resolve_arrival(arrival),
+        n_requests=(
+            total_requests
+            if total_requests is not None
+            else concurrency * requests_per_client
+        ),
+        connections=concurrency,
+        seed=seed,
+        slo_us=slo_us,
+        admission=admission,
+        class_mix=class_mix,
+        scoreboard=router.scoreboard,
+    )
+    population.start()
+    engine.run()
+    if not population.finished:
+        raise RuntimeError(
+            f"{system} x={concurrency} shards={shards}: "
+            "workload did not complete"
+        )
+    extra = _open_loop_extra(population)
+    extra.update(_fleet_steal_extra(platforms))
+    extra.update(_fleet_alloc_extra(platforms))
+    return RunResult(
+        system=system,
+        x=concurrency,
+        throughput=population.kreqs_per_sec(),
+        latency_ms=population.mean_latency_ms(),
+        extra=extra,
+        class_stats=router.scoreboard.summary(),
+        admission_stats=population.admission_summary(),
+        cluster_stats={
+            "shards": shards,
+            "routing": router.routing_name,
+            "alive_shards": router.alive_shards,
+            "connections_routed": router.connections_routed,
+            "connections_refused": router.connections_refused,
+            "failed_over_connections": router.failed_over_connections,
+            "failed_shards": list(router.failed_shards),
+            "per_shard": router.shard_report(),
+        },
     )
 
 

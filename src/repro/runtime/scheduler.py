@@ -256,6 +256,16 @@ class Scheduler:
         """Indices of the currently active workers, ascending."""
         return tuple(w.index for w in self._active)
 
+    def queue_depths(self) -> Tuple[int, ...]:
+        """Per-worker queue lengths, index-aligned with the workers.
+
+        Parked workers read 0 (their queues drain at park time).  This
+        is the same snapshot the allocation tick hands to
+        :class:`~repro.runtime.allocator.AllocView`; the cluster tier's
+        routing policies read it cross-shard as a backlog signal.
+        """
+        return tuple(len(w.queue) for w in self._workers)
+
     @property
     def total_busy_us(self) -> float:
         return sum(w.busy_us for w in self._workers)
@@ -337,7 +347,7 @@ class Scheduler:
         self._next_alloc_at = (math.floor(now / tick) + 1.0) * tick
         if now - self._last_alloc_change_at < self.allocator.cooldown_us:
             return
-        queue_depths = tuple(len(w.queue) for w in self._workers)
+        queue_depths = self.queue_depths()
         view = AllocView(
             now_us=now,
             active=len(self._active),

@@ -317,6 +317,21 @@ class ComputeTask(TaskBase):
         return elapsed, emissions
 
 
+def _send_or_drop(socket, data: bytes) -> None:
+    """Write to ``socket`` unless it already closed (the EPIPE case).
+
+    A connection can die under a running program — the peer vanished or
+    a front-end router severed the pipe — with responses still queued
+    behind the compute.  A real middlebox takes EPIPE and drops the
+    write; here the bytes land in the socket's ``bytes_dropped``
+    accounting instead of raising out of the scheduler.
+    """
+    if socket.closed:
+        socket.bytes_dropped += len(data)
+        return
+    socket.send(data)
+
+
 class OutputTask(TaskBase):
     """Serialises records from its inbox onto one TCP connection."""
 
@@ -367,7 +382,7 @@ class OutputTask(TaskBase):
             elapsed += ops_to_us(ops)
             elapsed += self._stack.write_cost_us(len(data), self._cores)
             self.bytes_out += len(data)
-            emissions.append(lambda d=data: socket.send(d))
+            emissions.append(lambda d=data: _send_or_drop(socket, d))
             self.items_processed += 1
             if budget_us == 0.0:
                 break

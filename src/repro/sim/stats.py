@@ -311,6 +311,9 @@ class RunResult:
     empty for cost-model baselines.  ``admission_stats`` carries the
     client-side per-class admission accounting (offered/admitted/shed)
     when the run had an admission policy in front of it.
+    ``cluster_stats`` carries the shard router's fleet accounting
+    (routing policy, per-shard counters, failover totals) when the run
+    was sharded — empty for single-platform runs.
     """
 
     system: str
@@ -322,6 +325,7 @@ class RunResult:
     admission_stats: Dict[str, Dict[str, float]] = field(
         default_factory=dict
     )
+    cluster_stats: Dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> str:
         return (

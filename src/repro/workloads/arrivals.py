@@ -402,6 +402,16 @@ class OpenLoopClients:
     ``scoreboard`` (the platform's
     :class:`~repro.sim.stats.SloScoreboard`) mirrors every shed so it
     appears next to the server-side completions in ``class_stats``.
+
+    The population survives a server-side connection close (the
+    cluster tier's shard failures sever flows mid-run): requests still
+    outstanding on a closed connection are accounted as *failed* — a
+    third completion-class outcome next to responses and sheds, per
+    class in :meth:`admission_summary` — and the connection reopens
+    while admission is still running, so subsequent arrivals re-route
+    (through a shard router, onto a surviving shard) instead of
+    black-holing.  Latency of failed requests is never recorded; they
+    are losses, not samples.
     """
 
     def __init__(
@@ -447,12 +457,14 @@ class OpenLoopClients:
         self.admitted = 0
         self.shed = 0
         self.completed = 0
+        self.failed = 0
         self.errors = 0
         self.slo_misses = 0
         self.offered_by_class: Dict[str, int] = {}
         self.admitted_by_class: Dict[str, int] = {}
         self.shed_by_class: Dict[str, int] = {}
         self.completed_by_class: Dict[str, int] = {}
+        self.failed_by_class: Dict[str, int] = {}
         self.misses_by_class: Dict[str, int] = {}
         self._conns: List[_OpenConnection] = []
         self._started = False
@@ -557,12 +569,22 @@ class OpenLoopClients:
         self.meter.add(self.codec.response_size(message))
         self.meter.finish(self.engine.now)
 
+    def _on_failure(self, service_class: str) -> None:
+        """One admitted request lost to a dead connection (no response)."""
+        self.failed += 1
+        self.failed_by_class[service_class] = (
+            self.failed_by_class.get(service_class, 0) + 1
+        )
+
     @property
     def finished(self) -> bool:
-        """Every admitted request saw a response (trace may cut offers
-        short of ``n_requests`` — ``replay`` is finite, and shed
-        requests never went on the wire)."""
-        return self._admission_closed and self.completed == self.admitted
+        """Every admitted request saw a response or a dead connection
+        (trace may cut offers short of ``n_requests`` — ``replay`` is
+        finite, and shed requests never went on the wire)."""
+        return (
+            self._admission_closed
+            and self.completed + self.failed == self.admitted
+        )
 
     def admission_summary(self) -> Dict[str, Dict[str, float]]:
         """Client-side per-class admission outcome (plain numbers).
@@ -578,6 +600,7 @@ class OpenLoopClients:
                 "admitted": self.admitted_by_class.get(name, 0),
                 "shed": self.shed_by_class.get(name, 0),
                 "completed": self.completed_by_class.get(name, 0),
+                "failed": self.failed_by_class.get(name, 0),
                 "slo_misses": self.misses_by_class.get(name, 0),
             }
         return report
@@ -609,12 +632,34 @@ class _OpenConnection:
         def connected(socket: TcpSocket) -> None:
             self.socket = socket
             socket.on_receive(self._on_data)
-            while self._backlog:
+            socket.on_close(lambda: self._on_peer_close(socket))
+            while self._backlog and not socket.closed:
                 self.socket.send(self._backlog.popleft())
 
         self.pop.tcpnet.connect(
             self.host, self.pop.target, self.pop.port, connected
         )
+
+    def _on_peer_close(self, socket: TcpSocket) -> None:
+        """Server-side EOF: write off the in-flight window, reconnect.
+
+        Requests already on the wire are gone — any response would have
+        arrived before the EOF (the simulated NIC delivers in order) —
+        so everything outstanding is failed, not retried: an open-loop
+        client never re-offers, it only keeps the arrival clock honest.
+        """
+        if socket is not self.socket:
+            return  # stale close of an already-replaced connection
+        self.socket = None
+        if not socket.closed:
+            socket.close()
+        self._backlog.clear()
+        while self.outstanding:
+            _admitted_us, service_class = self.outstanding.popleft()
+            self.pop._on_failure(service_class)
+        self.parser = self.pop.codec.parser()
+        if not self.pop._admission_closed:
+            self.open()
 
     def admit(self, index: int, service_class: str) -> None:
         self.outstanding.append((self.pop.engine.now, service_class))

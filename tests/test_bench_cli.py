@@ -224,3 +224,68 @@ class TestBaselineFlag:
         ])
         assert code == 2
         assert "like-for-like" in capsys.readouterr().err
+
+
+class TestClusterFlags:
+    def test_list_exits_0_and_prints_every_scenario(self, capsys):
+        from repro.bench.scenarios import SCENARIOS
+
+        assert main(["scenarios", "--list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in SCENARIOS:
+            assert scenario.name in out
+        # the cluster axes are part of the listing
+        assert "shards" in out and "routing" in out
+
+    def test_list_respects_scenario_selection(self, capsys):
+        assert main([
+            "scenarios", "--list",
+            "--scenario", "http-fleet-failover",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "http-fleet-failover" in out
+        assert "http-closed-baseline" not in out
+
+    def test_list_runs_nothing(self, tmp_path, capsys):
+        out_path = tmp_path / "never_written.json"
+        assert main([
+            "scenarios", "--list", "--output", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        assert not out_path.exists()
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(["scenarios", "--quick", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_bad_shards_exits_2(self, capsys):
+        assert main(["scenarios", "--quick", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_routing_gets_near_miss(self, capsys):
+        assert main([
+            "scenarios", "--quick", "--routing", "least-loadd",
+        ]) == 2
+        stderr = capsys.readouterr().err
+        assert "unknown routing policy 'least-loadd'" in stderr
+        assert "did you mean 'least-loaded'?" in stderr
+
+    def test_routing_typo_rejected_before_any_target_runs(self, capsys):
+        # validation is up front, shared with every other flag
+        assert main(["e1", "--quick", "--routing", "hash-afinity"]) == 2
+        assert "did you mean 'hash-affinity'?" in capsys.readouterr().err
+
+    def test_shards_override_runs_the_fleet_path(self, tmp_path, capsys):
+        out_path = tmp_path / "out.json"
+        code = main([
+            "scenarios", "--quick",
+            "--scenario", "http-open-poisson",
+            "--shards", "2", "--routing", "least-loaded",
+            "--output", str(out_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        document = json.loads(out_path.read_text())
+        entry = document["scenarios"]["http-open-poisson"]
+        assert entry["cluster"]["shards"] == 2
+        assert entry["cluster"]["routing"] == "least-loaded"

@@ -1,0 +1,355 @@
+"""Cluster tier: routing-policy registry/decisions, shard-router
+mechanism, fleet scoreboard, and end-to-end sharded runs (including
+mid-run shard failure) over the simulated network."""
+
+from collections import namedtuple
+
+import pytest
+
+from repro.bench.testbeds import run_http_experiment
+from repro.cluster import (
+    FleetView,
+    HashRing,
+    RoutingPolicy,
+    ShardRouter,
+    ShardSnapshot,
+    closest_routing_name,
+    make_routing,
+    registered_routings,
+    resolve_routing,
+)
+from repro.cluster.routing import register_routing
+from repro.core.errors import ConfigError, SimulationError
+from repro.core.units import GBPS
+from repro.net.tcp import TcpNetwork
+from repro.sim.engine import Engine
+from repro.workloads.arrivals import make_arrival
+
+_Record = namedtuple("_Record", "service_class latency_us missed")
+
+
+class _StubBoard:
+    total_completions = 0
+
+    def __init__(self, latencies_us=()):
+        self.records = [
+            _Record("default", latency, False) for latency in latencies_us
+        ]
+
+
+def _snapshot(index, **kw):
+    defaults = dict(
+        index=index, alive=True, connections=0, routed=0, backlog=0,
+        active_workers=4, slo_us=2000.0, scoreboard=_StubBoard(),
+    )
+    defaults.update(kw)
+    return ShardSnapshot(**defaults)
+
+
+def _view(snapshots, ring=None):
+    if ring is None:
+        ring = HashRing([s.index for s in snapshots if s.alive])
+    return FleetView(now_us=0.0, ring=ring, shards=tuple(snapshots))
+
+
+class _StubScheduler:
+    def queue_depths(self):
+        return (0,)
+
+    active_workers = 1
+
+
+class _StubConfig:
+    slo_us = None
+
+
+class _StubPlatform:
+    def __init__(self, host):
+        self.host = host
+        self.scheduler = _StubScheduler()
+        self.config = _StubConfig()
+        self.scoreboard = _StubBoard()
+
+
+class TestRoutingRegistry:
+    def test_builtins_registered_default_first(self):
+        names = registered_routings()
+        assert names[0] == "hash-affinity"
+        assert set(names) >= {
+            "hash-affinity", "least-loaded", "rebalance-watermark",
+        }
+
+    def test_unknown_name_gets_near_miss(self):
+        with pytest.raises(ConfigError) as excinfo:
+            make_routing("least-loadd")
+        assert "did you mean 'least-loaded'?" in str(excinfo.value)
+        assert closest_routing_name("hash-afinity") == "hash-affinity"
+
+    def test_bad_params_rejected_with_policy_name(self):
+        with pytest.raises(ConfigError, match="least-loaded"):
+            make_routing("least-loaded", nonsense=3)
+
+    def test_resolve_accepts_instances_and_names_only(self):
+        policy = make_routing("hash-affinity")
+        assert resolve_routing(policy) is policy
+        assert resolve_routing("least-loaded").name == "least-loaded"
+        with pytest.raises(ConfigError, match="name or RoutingPolicy"):
+            resolve_routing(42)
+
+    def test_duplicate_and_abstract_names_rejected(self):
+        with pytest.raises(ConfigError, match="registered twice"):
+            @register_routing
+            class Dup(RoutingPolicy):  # pragma: no cover - rejected
+                name = "hash-affinity"
+        with pytest.raises(ConfigError, match="needs a name"):
+            @register_routing
+            class Nameless(RoutingPolicy):  # pragma: no cover - rejected
+                name = "abstract"
+
+
+class TestHashAffinityPolicy:
+    def test_is_the_pure_ring_owner(self):
+        policy = make_routing("hash-affinity")
+        view = _view([_snapshot(0), _snapshot(1), _snapshot(2)])
+        for i in range(50):
+            key = f"conn-{i}"
+            assert policy.choose_shard(key, view) == view.ring.lookup(key)
+
+
+class TestLeastLoadedPolicy:
+    def test_picks_the_less_loaded_of_two_candidates(self):
+        policy = make_routing("least-loaded")
+        ring = HashRing([0, 1])
+        first, second = ring.lookup_chain("conn-7", 2)
+        loads = {first: 10, second: 2}
+        view = _view(
+            [_snapshot(i, connections=loads[i]) for i in (0, 1)], ring=ring
+        )
+        assert policy.choose_shard("conn-7", view) == second
+
+    def test_tie_goes_to_the_ring_owner(self):
+        policy = make_routing("least-loaded")
+        ring = HashRing([0, 1])
+        view = _view([_snapshot(0), _snapshot(1)], ring=ring)
+        assert policy.choose_shard("conn-7", view) == ring.lookup("conn-7")
+
+    def test_single_shard_chain_degenerates_to_lookup(self):
+        policy = make_routing("least-loaded")
+        view = _view([_snapshot(0, connections=99)])
+        assert policy.choose_shard("anything", view) == 0
+
+
+class TestRebalanceWatermarkPolicy:
+    def test_below_watermark_stays_home(self):
+        policy = make_routing("rebalance-watermark", queue_watermark=8.0)
+        view = _view([_snapshot(0, backlog=4), _snapshot(1, backlog=4)])
+        home = view.ring.lookup("conn-3")
+        assert policy.choose_shard("conn-3", view) == home
+
+    def test_queue_saturation_diverts_to_least_backlogged(self):
+        policy = make_routing("rebalance-watermark", queue_watermark=2.0)
+        ring = HashRing([0, 1, 2])
+        home = ring.lookup("conn-3")
+        spare = min(i for i in (0, 1, 2) if i != home)
+        backlogs = {home: 100, spare: 1}
+        snapshots = [
+            _snapshot(i, backlog=backlogs.get(i, 50)) for i in (0, 1, 2)
+        ]
+        view = _view(snapshots, ring=ring)
+        assert policy.choose_shard("conn-3", view) == spare
+
+    def test_latency_eating_slo_headroom_diverts(self):
+        policy = make_routing(
+            "rebalance-watermark", headroom=0.5, window=4
+        )
+        ring = HashRing([0, 1])
+        home = ring.lookup("conn-3")
+        other = 1 - home
+        snapshots = [None, None]
+        # Home's recent completions sit at the SLO itself (>0.5 * slo).
+        snapshots[home] = _snapshot(
+            home, scoreboard=_StubBoard([2000.0] * 8), backlog=5
+        )
+        snapshots[other] = _snapshot(other, backlog=0)
+        view = _view(snapshots, ring=ring)
+        assert policy.choose_shard("conn-3", view) == other
+
+    def test_bad_params_rejected(self):
+        for params in (
+            {"queue_watermark": 0.0},
+            {"headroom": 0.0},
+            {"headroom": 1.5},
+            {"window": 0},
+        ):
+            with pytest.raises(ConfigError):
+                make_routing("rebalance-watermark", **params)
+
+
+class TestShardRouterMechanism:
+    def _router(self, n_shards=2):
+        engine = Engine()
+        tcpnet = TcpNetwork(engine)
+        front = tcpnet.add_host("front", 10 * GBPS, "core")
+        router = ShardRouter(engine, tcpnet, front, 80)
+        for i in range(n_shards):
+            host = tcpnet.add_host(f"s{i}", 10 * GBPS, "core")
+            router.add_shard(_StubPlatform(host), 80)
+        return router
+
+    def test_start_without_shards_rejected(self):
+        engine = Engine()
+        tcpnet = TcpNetwork(engine)
+        front = tcpnet.add_host("front", 10 * GBPS, "core")
+        with pytest.raises(SimulationError, match="at least one shard"):
+            ShardRouter(engine, tcpnet, front, 80).start()
+
+    def test_shard_may_not_share_the_router_host(self):
+        engine = Engine()
+        tcpnet = TcpNetwork(engine)
+        front = tcpnet.add_host("front", 10 * GBPS, "core")
+        router = ShardRouter(engine, tcpnet, front, 80)
+        with pytest.raises(SimulationError, match="own"):
+            router.add_shard(_StubPlatform(front), 80)
+
+    def test_unknown_routing_rejected_at_construction(self):
+        engine = Engine()
+        tcpnet = TcpNetwork(engine)
+        front = tcpnet.add_host("front", 10 * GBPS, "core")
+        with pytest.raises(ConfigError, match="least-loaded"):
+            ShardRouter(engine, tcpnet, front, 80, routing="least-loadd")
+
+    def test_fail_shard_is_idempotent_and_logged(self):
+        router = self._router()
+        assert router.alive_shards == 2
+        router.fail_shard(1)
+        assert router.alive_shards == 1
+        assert router.failed_shards == [1]
+        assert 1 not in router._ring
+        # failing a dead shard is a no-op, not an error
+        assert router.fail_shard(1) == 0
+        assert router.failed_shards == [1]
+
+    def test_fail_shard_at_bad_index_rejected(self):
+        router = self._router()
+        with pytest.raises(SimulationError, match="no shard 7"):
+            router.fail_shard_at(7, 1000.0)
+
+    def test_shard_report_shape(self):
+        router = self._router()
+        router.fail_shard(0)
+        report = router.shard_report()
+        assert set(report) == {"shard0", "shard1"}
+        assert report["shard0"]["alive"] is False
+        assert report["shard0"]["failed_at_us"] == 0.0
+        assert report["shard1"]["alive"] is True
+        assert report["shard1"]["failed_at_us"] is None
+
+
+def _fleet_run(**kw):
+    defaults = dict(
+        mode="lb",
+        cores=4,
+        arrival=make_arrival("poisson", rate_rps=20_000.0),
+        total_requests=2000,
+        slo_us=5000.0,
+        shards=2,
+    )
+    defaults.update(kw)
+    return run_http_experiment("flick-kernel", 32, **defaults)
+
+
+class TestShardedRuns:
+    def test_two_shards_complete_everything(self):
+        result = _fleet_run()
+        cluster = result.cluster_stats
+        assert cluster["shards"] == 2
+        assert cluster["alive_shards"] == 2
+        assert cluster["connections_routed"] == 32
+        assert cluster["failed_over_connections"] == 0
+        assert result.extra["completed"] == 2000
+        assert result.extra["failed"] == 0
+        # every shard took a ring segment's worth of connections
+        routed = [
+            cluster["per_shard"][f"shard{i}"]["routed_connections"]
+            for i in (0, 1)
+        ]
+        assert all(n > 0 for n in routed)
+        assert sum(routed) == 32
+        # the fleet scoreboard aggregates per-class server-side stats
+        assert result.class_stats["default"]["completions"] > 0
+
+    def test_sharded_runs_are_deterministic(self):
+        from repro.runtime.scheduler import TaskBase
+
+        first = _fleet_run()
+        TaskBase.reset_ids()
+        second = _fleet_run()
+        assert first == second
+
+    def test_least_loaded_routing_spreads_connections_evenly(self):
+        result = _fleet_run(routing="least-loaded", shards=4)
+        per_shard = result.cluster_stats["per_shard"]
+        routed = [
+            per_shard[f"shard{i}"]["routed_connections"] for i in range(4)
+        ]
+        # d=2 choices: 32 conns over 4 shards stays near 8 per shard
+        assert max(routed) - min(routed) <= 2
+
+    def test_mid_run_shard_failure_degrades_without_collapse(self):
+        result = _fleet_run(total_requests=4000, fail_shard_at_us=50_000.0)
+        cluster = result.cluster_stats
+        assert cluster["alive_shards"] == 1
+        assert cluster["failed_shards"] == [1]
+        assert cluster["per_shard"]["shard1"]["alive"] is False
+        assert cluster["per_shard"]["shard1"]["failed_at_us"] == 50_000.0
+        assert cluster["failed_over_connections"] > 0
+        failed = result.extra["failed"]
+        completed = result.extra["completed"]
+        # only the in-flight window of severed connections is lost;
+        # everything offered afterwards lands on the survivor
+        assert 0 < failed < 0.05 * 4000
+        assert completed + failed == result.extra["admitted"] == 4000
+        # the survivor absorbed the re-homed flows and kept serving
+        assert (
+            cluster["per_shard"]["shard0"]["routed_connections"]
+            > cluster["per_shard"]["shard1"]["routed_connections"]
+        )
+        assert result.throughput > 0
+
+    def test_failure_accounting_reaches_admission_summary(self):
+        result = _fleet_run(
+            total_requests=4000,
+            fail_shard_at_us=50_000.0,
+            class_mix=(("gold", 1.0), ("bronze", 1.0)),
+        )
+        per_class = result.admission_stats
+        assert set(per_class) == {"gold", "bronze"}
+        total_failed = sum(c["failed"] for c in per_class.values())
+        assert total_failed == result.extra["failed"] > 0
+
+    def test_cluster_tier_rejects_bad_configs(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            run_http_experiment("flick-kernel", 8, shards=0)
+        with pytest.raises(ValueError, match="cost-model baseline"):
+            run_http_experiment(
+                "nginx", 8, shards=2,
+                arrival=make_arrival("poisson", rate_rps=1000.0),
+            )
+        with pytest.raises(ValueError, match="open-loop"):
+            run_http_experiment("flick-kernel", 8, shards=2)
+        with pytest.raises(ValueError, match="needs shards > 1"):
+            run_http_experiment(
+                "flick-kernel", 8, shards=1, fail_shard_at_us=10.0
+            )
+        with pytest.raises(ValueError, match="needs shards > 1"):
+            run_http_experiment(
+                "flick-kernel", 8, shards=1, routing="least-loaded"
+            )
+
+    def test_single_shard_keeps_the_classic_path(self):
+        result = run_http_experiment(
+            "flick-kernel", 16, mode="lb", cores=4,
+            arrival=make_arrival("poisson", rate_rps=20_000.0),
+            total_requests=1000, slo_us=5000.0, shards=1,
+        )
+        assert result.cluster_stats == {}

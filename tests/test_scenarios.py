@@ -440,3 +440,84 @@ class TestBaselineComparison:
         assert {e["app"] for e in document["scenarios"].values()} == set(
             APP_ENDPOINTS
         )
+
+
+class TestClusterScenarioFields:
+    def test_matrix_has_the_scaling_curve_and_failover(self):
+        by_name = {s.name: s for s in SCENARIOS}
+        assert by_name["http-fleet-scale-2"].shards == 2
+        assert by_name["http-fleet-scale-4"].shards == 4
+        failover = by_name["http-fleet-failover"]
+        assert failover.shards == 2
+        assert failover.fail_shard_at_us is not None
+
+    def test_shards_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="shards must be >= 1"):
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson", shards=0,
+            ))
+
+    def test_cluster_knobs_need_shards(self):
+        # same no-silent-drop rule as admission/class_mix: cluster knobs
+        # on a single-middlebox scenario report a config that never ran
+        with pytest.raises(ConfigError, match="needs shards > 1"):
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson",
+                routing="least-loaded",
+            ))
+        with pytest.raises(ConfigError, match="needs shards > 1"):
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson",
+                fail_shard_at_us=100.0,
+            ))
+
+    def test_cluster_tier_is_open_loop_http_only(self):
+        with pytest.raises(ConfigError, match="http_lb"):
+            run_scenario(Scenario(
+                name="x", app="memcached_proxy", arrival="poisson",
+                shards=2,
+            ))
+        with pytest.raises(ConfigError, match="open-loop"):
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival=None, shards=2,
+            ))
+
+    def test_unknown_routing_gets_near_miss(self):
+        with pytest.raises(ConfigError) as excinfo:
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson",
+                shards=2, routing="hash-afinity",
+            ))
+        assert "did you mean 'hash-affinity'?" in str(excinfo.value)
+
+    def test_nonpositive_fail_time_rejected(self):
+        with pytest.raises(ConfigError, match="positive"):
+            run_scenario(Scenario(
+                name="x", app="http_lb", arrival="poisson",
+                shards=2, fail_shard_at_us=0.0,
+            ))
+
+    def test_sharded_entry_has_a_cluster_section(self):
+        scenario = Scenario(
+            name="tiny-fleet", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            connections=16, requests=256, slo_ms=5.0, cores=4, shards=2,
+        )
+        entry = run_scenario(scenario, quick=True)
+        cluster = entry["cluster"]
+        assert cluster["shards"] == 2
+        assert cluster["routing"] == "hash-affinity"
+        assert cluster["alive_shards"] == 2
+        assert set(cluster["per_shard"]) == {"shard0", "shard1"}
+        assert entry["failed"] == 0
+        assert entry["completed"] == 256
+
+    def test_single_shard_entry_has_no_cluster_section(self):
+        scenario = Scenario(
+            name="tiny", app="http_lb", arrival="poisson",
+            arrival_params=(("rate_rps", 30_000.0),),
+            connections=16, requests=256, slo_ms=2.0, cores=4,
+        )
+        entry = run_scenario(scenario, quick=True)
+        assert "cluster" not in entry
+        assert entry["failed"] == 0
