@@ -18,6 +18,16 @@ simulator adds.  Two policy planes decide what happens next:
    while the ramp is low and unparks them as the backlog builds, with
    every applied change in the scheduler's alloc log.
 
+Accounting note: since the fault-injection plane landed, ``shed`` is
+one of *four* first-class request outcomes — ``completed``, ``failed``
+(dead connection), ``retried`` (impatient client gave up and
+re-offered) and ``shed`` — and scenario documents (schema v4) carry
+all four per entry plus a ``faults`` section on injected runs.  The
+matrix's ``http-retry-storm`` / ``http-retry-storm-shed`` pair extends
+this example's story to the metastable regime: retries *amplify* the
+overload under ``admit-all``, and the same shed-bronze door breaks the
+feedback loop (see docs/scenarios.md).
+
 Run:  python examples/overload_survival.py
 """
 

@@ -16,8 +16,10 @@ processes), and splices bytes both ways.  Two demonstrations:
 2. **Failover** — a 2-shard fleet loses a shard mid-run.  The ring
    remaps the dead shard's segment to the survivor, severed
    connections drain their in-flight requests as ``failed`` (a
-   first-class outcome next to completions and sheds), and the
-   clients reconnect — bounded loss, not collapse.
+   first-class outcome next to completions, sheds and the fault
+   plane's retries — all four are pinned per entry in the schema-v4
+   scenario documents), and the clients reconnect — bounded loss, not
+   collapse.
 
 Run:  python examples/sharded_fleet.py
 """

@@ -20,6 +20,8 @@ Usage::
     python -m repro.bench scenarios --quick --jobs 4  # parallel smoke run
     python -m repro.bench scenarios --scenario http-open-poisson \\
         --shards 4 --routing least-loaded   # cluster-tier override
+    python -m repro.bench scenarios --scenario http-open-poisson \\
+        --faults retry-storm   # fault-injection override
     python -m repro.bench scenarios --quick \\
         --baseline benchmarks/baseline_scenarios.json   # CI perf gate
     python -m repro.bench all --quick # everything, reduced sizes
@@ -66,6 +68,7 @@ from repro.bench.testbeds import (
     run_http_experiment,
     run_memcached_experiment,
 )
+from repro.net.faults import registered_faults, unknown_fault_message
 from repro.net.stackprofiles import TOPOLOGIES
 from repro.runtime.admission import (
     registered_admissions,
@@ -206,7 +209,7 @@ def _service_classes(args):
 
 def _scenario_overrides(args) -> dict:
     """Pinned-field overrides from ``--allocator`` / ``--admission`` /
-    ``--shards`` / ``--routing``."""
+    ``--shards`` / ``--routing`` / ``--faults``."""
     overrides = {}
     if getattr(args, "allocator", None) is not None:
         overrides["allocator"] = args.allocator
@@ -216,6 +219,11 @@ def _scenario_overrides(args) -> dict:
         overrides["shards"] = args.shards
     if getattr(args, "routing", None) is not None:
         overrides["routing"] = args.routing
+    if getattr(args, "faults", None) is not None:
+        # Replacing the injector invalidates any scenario-pinned
+        # parameters (they belong to the original fault's signature).
+        overrides["faults"] = args.faults
+        overrides["fault_params"] = ()
     return overrides
 
 
@@ -410,6 +418,16 @@ def main(argv: List[str] = None) -> int:
         f"Registered: {', '.join(registered_routings())}.",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="NAME",
+        help="scenarios only: override the fault injector on every "
+        "selected scenario (with the injector's default parameters); "
+        "only open-loop single-platform request/response scenarios "
+        "accept one (typos get a near-miss suggestion). "
+        f"Registered: {', '.join(registered_faults())}.",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         dest="list_scenarios",
@@ -464,6 +482,11 @@ def main(argv: List[str] = None) -> int:
             and args.routing not in registered_routings()
         ):
             raise ConfigError(unknown_routing_message(args.routing))
+        if (
+            args.faults is not None
+            and args.faults not in registered_faults()
+        ):
+            raise ConfigError(unknown_fault_message(args.faults))
     except (RuntimeFlickError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -188,6 +188,7 @@ def format_scenario_listing(scenarios) -> str:
                 scenario.policy,
                 scenario.allocator,
                 scenario.admission,
+                scenario.faults or "-",
                 scenario.shards,
                 scenario.routing if scenario.shards > 1 else "-",
                 (
@@ -210,6 +211,7 @@ def format_scenario_listing(scenarios) -> str:
             "policy",
             "allocator",
             "admission",
+            "faults",
             "shards",
             "routing",
             "fail",

@@ -32,7 +32,11 @@ from repro.core.errors import ConfigError
 #: top-level "failed" count (requests lost to dead connections), a
 #: per-class "failed" in the admission section, and (on sharded
 #: entries) the "cluster" section with routing/failover counters.
-SCHEMA_VERSION = 3
+#: v4 added the top-level "retried" count (impatient-client
+#: re-submissions), a per-class "retried" in the admission and classes
+#: sections, and (on fault-injected entries) the "faults" section with
+#: the injector's name, parameters and counters.
+SCHEMA_VERSION = 4
 
 #: CI gate defaults (ISSUE: fail if throughput drops >10% or p99 rises >15%).
 MAX_THROUGHPUT_DROP_PCT = 10.0

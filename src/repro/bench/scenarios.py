@@ -16,6 +16,15 @@ request volume, once driven open-loop past saturation and once by
 self-throttling closed-loop clients.  The open-loop run accumulates
 queueing latency and misses its SLO; the closed-loop run never does —
 the blind spot of ApacheBench-style evaluation, now a pinned number.
+
+The fault-injection entries (``faults=`` names a
+:mod:`repro.net.faults` registry entry) pin adversarial conditions the
+same way: the ``http-retry-storm`` / ``http-retry-storm-shed`` pair
+drives identical impatient-client load once into ``cooperative`` +
+``admit-all`` (retries amplify the overload — the metastable feedback
+loop) and once into ``deadline`` + ``shed-bronze`` (the door sheds the
+amplification), so "admission control breaks the retry storm" is a
+gated number rather than a claim.
 """
 
 from __future__ import annotations
@@ -26,6 +35,11 @@ from typing import Dict, NamedTuple, Optional, Sequence, Tuple
 from repro.apps import hadoop_agg, http_lb, memcached_proxy
 from repro.cluster import registered_routings, unknown_routing_message
 from repro.core.errors import ConfigError
+from repro.net.faults import (
+    make_fault,
+    registered_faults,
+    unknown_fault_message,
+)
 from repro.bench.testbeds import (
     run_hadoop_experiment,
     run_http_experiment,
@@ -91,6 +105,10 @@ class Scenario(NamedTuple):
     routing: str = "hash-affinity"
     #: Kill the highest-indexed shard at this virtual µs (shards > 1).
     fail_shard_at_us: Optional[float] = None
+    #: Registered fault-injector name (open-loop, single-platform only).
+    faults: Optional[str] = None
+    #: Parameters for :func:`~repro.net.faults.make_fault`.
+    fault_params: Tuple[Tuple[str, object], ...] = ()
 
 
 def _burst_trace(
@@ -178,6 +196,60 @@ SCENARIOS: Tuple[Scenario, ...] = (
         arrival=None,
         slo_ms=2.0,
     ),
+    # The metastable retry storm: the overload pair's offered load, but
+    # clients give up after the SLO and re-offer (up to 3 times) — the
+    # classic feedback loop where retries amplify the very overload that
+    # caused them.  Under cooperative + admit-all the amplification
+    # lands unchecked; the -shed sibling routes the identical storm
+    # through deadline scheduling + bronze shedding, which breaks the
+    # loop at the door.  The pair is the faults plane's acceptance gate.
+    Scenario(
+        name="http-retry-storm",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 160_000.0),),
+        slo_ms=2.0,
+        class_mix=(("gold", 1.0), ("bronze", 1.0)),
+        faults="retry-storm",
+        fault_params=(("retry_after_us", 2_000.0), ("max_retries", 3)),
+    ),
+    Scenario(
+        name="http-retry-storm-shed",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 160_000.0),),
+        policy="deadline",
+        slo_ms=2.0,
+        admission="shed-bronze",
+        admission_params=(("max_inflight", 96),),
+        class_mix=(("gold", 1.0), ("bronze", 1.0)),
+        faults="retry-storm",
+        fault_params=(("retry_after_us", 2_000.0), ("max_retries", 3)),
+    ),
+    # Backend-side fault drills at comfortable load: service-time
+    # inflation windows (slow-backend) and bounded up/down flaps with
+    # connection resets (flapping-backend) — the injected degradation,
+    # not the load, is what the pinned numbers isolate.
+    Scenario(
+        name="http-slow-backend",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        slo_ms=2.0,
+        faults="slow-backend",
+        # 15 µs of backend service is noise next to the ~0.7 ms
+        # middlebox path; x120 pushes slow-window responses past the
+        # 2 ms SLO, so the inflation windows show up as misses.
+        fault_params=(("factor", 120.0),),
+    ),
+    Scenario(
+        name="http-flapping-backend",
+        app="http_lb",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        slo_ms=5.0,
+        faults="flapping-backend",
+    ),
     # Elastic-allocation ramp: offered load sweeps from far below to far
     # past capacity, so the queue-depth allocator first parks idle
     # workers and then unparks them back up to the full core count —
@@ -228,6 +300,17 @@ SCENARIOS: Tuple[Scenario, ...] = (
         ),
         requests=4096,
         slo_ms=2.0,
+    ),
+    # Connection churn: short-lived connections recycled every 16
+    # requests, so accept/teardown cost rides the steady-state number.
+    Scenario(
+        name="memcached-conn-churn",
+        app="memcached_proxy",
+        arrival="poisson",
+        arrival_params=(("rate_rps", 40_000.0),),
+        slo_ms=2.0,
+        faults="conn-churn",
+        fault_params=(("lifetime_requests", 16),),
     ),
     # Cluster-tier scaling curve: the SAME open-loop offered load
     # (800 kreq/s, far past one shard's ~110 kreq/s saturation point)
@@ -403,6 +486,46 @@ def _validate_scenario(scenario: Scenario) -> None:
             "request/response app (closed-loop clients self-throttle "
             "and hadoop mapper streams are not per-request workloads)"
         )
+    # Fault injection follows the same no-silent-drop discipline.
+    if scenario.fault_params and scenario.faults is None:
+        raise ConfigError(
+            f"scenario {scenario.name!r}: fault_params without faults "
+            "would be silently dropped"
+        )
+    if scenario.faults is not None:
+        if scenario.faults not in registered_faults():
+            raise ConfigError(
+                f"scenario {scenario.name!r}: "
+                + unknown_fault_message(scenario.faults)
+            )
+        try:
+            fault = make_fault(
+                scenario.faults, **dict(scenario.fault_params)
+            )
+        except ConfigError as exc:
+            raise ConfigError(
+                f"scenario {scenario.name!r}: {exc}"
+            ) from None
+        if scenario.arrival is None or scenario.app == "hadoop_agg":
+            raise ConfigError(
+                f"scenario {scenario.name!r}: fault injection needs an "
+                "open-loop arrival process on a request/response app "
+                "(retry/failure accounting lives there)"
+            )
+        if (
+            fault.needs_backends
+            and scenario.app == "http_lb"
+            and scenario.mode != "lb"
+        ):
+            raise ConfigError(
+                f"scenario {scenario.name!r}: fault {fault.name!r} "
+                "targets backend servers; mode='web' has none"
+            )
+        if scenario.shards != 1:
+            raise ConfigError(
+                f"scenario {scenario.name!r}: fault injection is "
+                "single-platform for now; drop either faults or shards"
+            )
     if scenario.shards < 1:
         raise ConfigError(
             f"scenario {scenario.name!r}: shards must be >= 1, got "
@@ -485,6 +608,11 @@ def run_scenario(
         if scenario.arrival is not None and scenario.app != "hadoop_agg"
         else "admit-all"
     )
+    fault = (
+        make_fault(scenario.faults, **dict(scenario.fault_params))
+        if scenario.faults is not None
+        else None
+    )
 
     common = dict(
         policy=scenario.policy,
@@ -515,6 +643,7 @@ def run_scenario(
                 shards=scenario.shards,
                 routing=scenario.routing,
                 fail_shard_at_us=scenario.fail_shard_at_us,
+                faults=fault,
                 **common,
             )
             unit = "kreq/s"
@@ -529,6 +658,7 @@ def run_scenario(
                 total_requests=requests,
                 admission=admission,
                 class_mix=scenario.class_mix,
+                faults=fault,
                 **common,
             )
             unit = "kreq/s"
@@ -561,6 +691,7 @@ def run_scenario(
         "offered": offered,
         "completed": completed,
         "failed": int(extra.get("failed", 0)),
+        "retried": int(extra.get("retried", 0)),
         "measured": measured,
         "errors": int(extra.get("errors", 0)),
         "throughput": result.throughput,
@@ -614,6 +745,16 @@ def run_scenario(
         }
     if result.cluster_stats:
         entry["cluster"] = result.cluster_stats
+    if fault is not None:
+        entry["faults"] = {
+            "name": fault.name,
+            "params": fault.params(),
+            "counters": {
+                key[len("fault_"):]: int(value)
+                for key, value in sorted(extra.items())
+                if key.startswith("fault_")
+            },
+        }
     return entry
 
 

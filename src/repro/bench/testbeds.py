@@ -25,6 +25,7 @@ from repro.baselines.moxi import MoxiProxy
 from repro.baselines.nginx import NginxServer
 from repro.cluster import ShardRouter
 from repro.core.units import GBPS, throughput_mbps
+from repro.net.faults import resolve_fault
 from repro.net.tcp import TcpNetwork
 from repro.runtime.costs import RuntimeConfig
 from repro.runtime.graph import OutboundTarget
@@ -65,6 +66,31 @@ def _check_admission_args(arrival, admission, class_mix) -> None:
             "process; closed-loop clients self-throttle, so there is "
             "nothing to shed"
         )
+
+
+def _resolve_fault_args(faults, arrival, use_backends: bool):
+    """Resolve/validate a testbed's ``faults`` argument (or ``None``).
+
+    Fault injection rides the open-loop machinery (retry/failure
+    accounting lives there), and backend-targeting injectors need
+    backend servers behind the middlebox — both are config errors, not
+    silently dropped knobs.
+    """
+    if faults is None:
+        return None
+    fault = resolve_fault(faults)
+    if arrival is None:
+        raise ValueError(
+            f"fault injection ({fault.name!r}) needs an open-loop "
+            "arrival process; closed-loop clients have no retry/failure "
+            "accounting"
+        )
+    if fault.needs_backends and not use_backends:
+        raise ValueError(
+            f"fault {fault.name!r} targets backend servers; this "
+            "testbed configuration has none"
+        )
+    return fault
 
 
 def _steal_extra(platform: Optional[FlickPlatform]) -> dict:
@@ -142,6 +168,7 @@ def _open_loop_extra(population: OpenLoopClients) -> dict:
         "shed": float(population.shed),
         "completed": float(population.completed),
         "failed": float(population.failed),
+        "retried": float(population.retried),
         "measured": float(latency.count),
         "errors": float(population.errors),
         "slo_misses": float(population.slo_misses),
@@ -218,9 +245,17 @@ def run_http_experiment(
     shards: int = 1,
     routing="hash-affinity",
     fail_shard_at_us: Optional[float] = None,
+    faults=None,
 ) -> RunResult:
     """One data point of Figure 4 (mode='lb') or the §6.3 web test
     (mode='web').
+
+    ``faults`` (a registered :mod:`repro.net.faults` name or a
+    :class:`~repro.net.faults.FaultPolicy` instance) injects an
+    adversarial condition: backend slowdowns/flaps, connection churn,
+    or an impatient retry storm.  Open-loop single-platform runs only;
+    injected counters land in the result's ``extra`` under ``fault_*``
+    keys.
 
     ``arrival`` (an :class:`~repro.workloads.arrivals.ArrivalProcess`
     or registered name) switches the client side from the closed-loop
@@ -248,6 +283,12 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
     if mode not in ("lb", "web"):
         raise ValueError(f"unknown mode {mode!r}")
     _check_admission_args(arrival, admission, class_mix)
+    fault = _resolve_fault_args(faults, arrival, use_backends=(mode == "lb"))
+    if fault is not None and system not in FLICK_SYSTEMS and fault.needs_backends:
+        raise ValueError(
+            f"fault {fault.name!r} models the FLICK forwarding path; "
+            f"{system!r} is a cost-model baseline without one"
+        )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if shards == 1:
@@ -265,6 +306,11 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             raise ValueError(
                 "the cluster tier needs an open-loop arrival process "
                 "(connection-failure accounting lives there)"
+            )
+        if fault is not None:
+            raise ValueError(
+                "fault injection is single-platform for now; drop either "
+                "faults or shards"
             )
         return _run_http_fleet(
             system=system,
@@ -318,6 +364,9 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             exec_tier=exec_tier,
             allocator=allocator,
             admission=admission,
+            backend_close_teardown=(
+                fault is not None and fault.tears_down_on_backend_close
+            ),
         )
         platform = FlickPlatform(
             engine, tcpnet, mbox, config, http_lb.http_codec_registry()
@@ -341,6 +390,9 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
     else:
         raise ValueError(f"unknown system {system!r}")
 
+    if fault is not None:
+        fault.install(engine, _backend_servers if use_backends else [])
+
     if arrival is not None:
         population = OpenLoopClients(
             engine,
@@ -361,6 +413,7 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
             admission=admission,
             class_mix=class_mix,
             scoreboard=platform.scoreboard if platform is not None else None,
+            **(fault.population_kwargs() if fault is not None else {}),
         )
         extra_of = _open_loop_extra
     else:
@@ -390,6 +443,8 @@ OpenLoopClients`: ``concurrency`` becomes the size of the persistent
     extra = extra_of(population)
     extra.update(_steal_extra(platform))
     extra.update(_alloc_extra(platform))
+    if fault is not None:
+        extra.update(fault.counters(population))
     return RunResult(
         system=system,
         x=concurrency,
@@ -564,14 +619,23 @@ def run_memcached_experiment(
     allocator="static",
     admission="admit-all",
     class_mix=(),
+    faults=None,
 ) -> RunResult:
     """One data point of Figure 5 (or the parser/cache ablations).
 
     ``arrival`` switches the client side to the open-loop population,
     exactly as in :func:`run_http_experiment`; ``allocator`` /
-    ``admission`` / ``class_mix`` thread the same way.
+    ``admission`` / ``class_mix`` / ``faults`` thread the same way
+    (the memcached proxy always has backend servers, so every
+    registered fault applies here).
     """
     _check_admission_args(arrival, admission, class_mix)
+    fault = _resolve_fault_args(faults, arrival, use_backends=True)
+    if fault is not None and system not in FLICK_SYSTEMS and fault.needs_backends:
+        raise ValueError(
+            f"fault {fault.name!r} models the FLICK forwarding path; "
+            f"{system!r} is a cost-model baseline without one"
+        )
     engine, tcpnet, mbox, clients, backend_hosts = _build_topology()
     filler = b"v" * value_bytes
     backend_servers = [
@@ -600,6 +664,9 @@ def run_memcached_experiment(
             exec_tier=exec_tier,
             allocator=allocator,
             admission=admission,
+            backend_close_teardown=(
+                fault is not None and fault.tears_down_on_backend_close
+            ),
         )
         platform = FlickPlatform(
             engine,
@@ -622,6 +689,9 @@ def run_memcached_experiment(
     else:
         raise ValueError(f"unknown system {system!r}")
 
+    if fault is not None:
+        fault.install(engine, backend_servers)
+
     if arrival is not None:
         population = OpenLoopClients(
             engine,
@@ -642,6 +712,7 @@ def run_memcached_experiment(
             admission=admission,
             class_mix=class_mix,
             scoreboard=platform.scoreboard if platform is not None else None,
+            **(fault.population_kwargs() if fault is not None else {}),
         )
         extra_of = _open_loop_extra
     else:
@@ -671,6 +742,8 @@ def run_memcached_experiment(
     extra["backend_requests"] = float(backend_hits)
     extra.update(_steal_extra(platform))
     extra.update(_alloc_extra(platform))
+    if fault is not None:
+        extra.update(fault.counters(population))
     return RunResult(
         system=system,
         x=cores,

@@ -83,6 +83,13 @@ SchedulingPolicy` instance for custom parameters.
     workload generators in front of this platform; the platform itself
     only accounts the sheds, so the field exists to thread one config
     through testbeds.
+
+    ``backend_close_teardown`` makes a backend-side connection EOF tear
+    down the whole serving task graph (client connection included).
+    Default ``False`` — the paper's platform only tears down on client
+    EOF — but backend fault injectors (``flapping-backend``) need it:
+    without it a request in flight to a dying backend black-holes, the
+    client waits forever, and the run never drains.
     """
 
     cores: int = 16
@@ -99,8 +106,14 @@ SchedulingPolicy` instance for custom parameters.
     exec_tier: str = "compiled"
     allocator: object = "static"
     admission: object = "admit-all"
+    backend_close_teardown: bool = False
 
     def __post_init__(self):
+        if not isinstance(self.backend_close_teardown, bool):
+            raise ValueError(
+                "backend_close_teardown must be a bool, got "
+                f"{type(self.backend_close_teardown).__name__}"
+            )
         if self.cores < 1:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.exec_tier not in ("interp", "compiled"):

@@ -324,6 +324,14 @@ class TaskGraph:
                 self._outbound_sockets.append(socket)
                 out_task.bind_socket(socket)
                 if ep.readable:
+                    # A backend-side EOF normally just ends that stream;
+                    # under backend fault injection it must fell the
+                    # whole graph or in-flight requests black-hole.
+                    backend_eof = (
+                        self._teardown
+                        if self.config.backend_close_teardown
+                        else None
+                    )
                     raw_sink = self._raw_forward.get(ep.name)
                     if raw_sink is not None:
                         in_task = RawForwardTask(
@@ -331,6 +339,7 @@ class TaskGraph:
                             self._endpoint_out_channels[raw_sink],
                             self.stack,
                             self.config.cores,
+                            on_eof=backend_eof,
                         )
                     else:
                         in_task = InputTask(
@@ -340,6 +349,7 @@ class TaskGraph:
                             self.stack,
                             self.config.cores,
                             tag=(ep.name, index),
+                            on_eof=backend_eof,
                         )
                     in_task.attach(socket, self._notify(in_task))
                     self._add_task(in_task, endpoint=ep.name)

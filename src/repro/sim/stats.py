@@ -201,7 +201,11 @@ class SloScoreboard:
     so they can't complete or miss — :meth:`record_shed` counts them
     per class as the third first-class outcome next to completions and
     misses (``admitted + shed == offered`` is the conservation law the
-    admission tests enforce).
+    admission tests enforce).  :meth:`record_retry` likewise counts
+    responses an impatient client discarded and re-offered (the
+    ``retry-storm`` fault injector): each retry is terminal for its
+    attempt, so ``completed + failed + retried == admitted`` once the
+    run drains.
     """
 
     def __init__(self):
@@ -210,6 +214,7 @@ class SloScoreboard:
         self._misses: Dict[str, int] = {}
         self._latency: Dict[str, LatencySeries] = {}
         self._sheds: Dict[str, int] = {}
+        self._retries: Dict[str, int] = {}
 
     def record(
         self,
@@ -255,6 +260,15 @@ class SloScoreboard:
                 self._sheds.get(service_class, 0) + count
             )
 
+    def record_retry(self, service_class: str, count: int = 1) -> None:
+        """Count ``count`` impatient-client retries of ``service_class``."""
+        if count < 0:
+            raise ValueError(f"negative retry count {count}")
+        if count:
+            self._retries[service_class] = (
+                self._retries.get(service_class, 0) + count
+            )
+
     @property
     def total_completions(self) -> int:
         return len(self.records)
@@ -263,12 +277,20 @@ class SloScoreboard:
     def total_sheds(self) -> int:
         return sum(self._sheds.values())
 
+    @property
+    def total_retries(self) -> int:
+        return sum(self._retries.values())
+
     def completions_by_class(self) -> Dict[str, int]:
         return dict(self._completions)
 
     def sheds_by_class(self) -> Dict[str, int]:
         """Admission-shed requests per class (only classes with any)."""
         return dict(self._sheds)
+
+    def retries_by_class(self) -> Dict[str, int]:
+        """Impatient-client retries per class (only classes with any)."""
+        return dict(self._retries)
 
     def misses_by_class(self) -> Dict[str, int]:
         """SLO misses per class (classes with none recorded report 0)."""
@@ -287,12 +309,13 @@ class SloScoreboard:
         request is an outcome, not an accounting gap.
         """
         report: Dict[str, Dict[str, float]] = {}
-        for name in {**self._completions, **self._sheds}:
+        for name in {**self._completions, **self._sheds, **self._retries}:
             latency = self._latency.get(name)
             report[name] = {
                 "completions": self._completions.get(name, 0),
                 "misses": self._misses.get(name, 0),
                 "shed": self._sheds.get(name, 0),
+                "retried": self._retries.get(name, 0),
                 "mean_ms": latency.mean_ms() if latency else 0.0,
                 "p99_ms": (
                     millis(latency.percentile_us(99.0)) if latency else 0.0

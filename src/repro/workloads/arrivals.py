@@ -412,6 +412,20 @@ class OpenLoopClients:
     (through a shard router, onto a surviving shard) instead of
     black-holing.  Latency of failed requests is never recorded; they
     are losses, not samples.
+
+    Two client-side fault injectors (:mod:`repro.net.faults`) configure
+    extra knobs here: ``retry_after_us`` / ``max_retries`` turn the
+    population impatient (the ``retry-storm`` injector) — a response
+    slower than the budget is discarded as *retried* (a fourth terminal
+    outcome: never a completion, never a latency sample) and the
+    request is immediately re-offered through the full admission path,
+    so re-offers are shed exactly like fresh arrivals.
+    ``conn_lifetime_requests`` (the ``conn-churn`` injector) recycles
+    every connection after that many responses: close, reconnect, and
+    carry on, so handshakes and graph builds dominate the accept path.
+    The conservation laws the fault tests pin: ``admitted + shed ==
+    offered`` and ``completed + failed + retried == admitted`` once the
+    run drains.
     """
 
     def __init__(
@@ -430,11 +444,27 @@ class OpenLoopClients:
         admission="admit-all",
         class_mix=(),
         scoreboard=None,
+        retry_after_us: Optional[float] = None,
+        max_retries: int = 0,
+        conn_lifetime_requests: Optional[int] = None,
     ):
         if n_requests < 1:
             raise ValueError("n_requests must be >= 1")
         if connections < 1:
             raise ValueError("connections must be >= 1")
+        if retry_after_us is not None and retry_after_us <= 0:
+            raise ValueError(
+                f"retry_after_us must be positive, got {retry_after_us}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if max_retries > 0 and retry_after_us is None:
+            raise ValueError("max_retries needs retry_after_us")
+        if conn_lifetime_requests is not None and conn_lifetime_requests < 1:
+            raise ValueError(
+                "conn_lifetime_requests must be >= 1, got "
+                f"{conn_lifetime_requests}"
+            )
         self.engine = engine
         self.tcpnet = tcpnet
         self.client_hosts = client_hosts
@@ -450,6 +480,9 @@ class OpenLoopClients:
         self.admission.reset()  # a reused instance must not carry state
         self.class_mix = _check_class_mix(class_mix)
         self.scoreboard = scoreboard
+        self.retry_after_us = retry_after_us
+        self.max_retries = max_retries
+        self.conn_lifetime_requests = conn_lifetime_requests
         self.latency = LatencySeries()
         self.inter_arrivals = IntervalSeries()
         self.meter = Meter()
@@ -458,6 +491,8 @@ class OpenLoopClients:
         self.shed = 0
         self.completed = 0
         self.failed = 0
+        self.retried = 0
+        self.conn_cycles = 0
         self.errors = 0
         self.slo_misses = 0
         self.offered_by_class: Dict[str, int] = {}
@@ -465,6 +500,7 @@ class OpenLoopClients:
         self.shed_by_class: Dict[str, int] = {}
         self.completed_by_class: Dict[str, int] = {}
         self.failed_by_class: Dict[str, int] = {}
+        self.retried_by_class: Dict[str, int] = {}
         self.misses_by_class: Dict[str, int] = {}
         self._conns: List[_OpenConnection] = []
         self._started = False
@@ -511,49 +547,77 @@ class OpenLoopClients:
 
     def _admit(self):
         classes = self._class_cycle()
+        arrivals = 0
         for gap in self.arrival.gaps(self.rng):
-            if self.offered >= self.n_requests:
+            # Count arrival-clock ticks, not offers: retry re-offers
+            # inflate ``offered`` and must not cut the arrival stream
+            # short of ``n_requests``.
+            if arrivals >= self.n_requests:
                 break
             if gap > 0:
                 yield Timeout(gap)
-            index = self.offered
-            service_class = next(classes)
-            request = AdmissionRequest(
-                index=index,
-                now_us=self.engine.now,
-                service_class=service_class,
-                inflight=self.admitted - self.completed,
-                offered=self.offered,
-                admitted=self.admitted,
-                shed=self.shed,
-            )
-            self.offered += 1
-            self.offered_by_class[service_class] = (
-                self.offered_by_class.get(service_class, 0) + 1
-            )
+            arrivals += 1
             self.inter_arrivals.observe(self.engine.now)
-            if not self.admission.admit(request):
-                self.shed += 1
-                self.shed_by_class[service_class] = (
-                    self.shed_by_class.get(service_class, 0) + 1
-                )
-                if self.scoreboard is not None:
-                    self.scoreboard.record_shed(service_class)
-                continue
-            slot = self.admitted
-            self.admitted += 1
-            self.admitted_by_class[service_class] = (
-                self.admitted_by_class.get(service_class, 0) + 1
-            )
-            self._conns[slot % self.connections].admit(index, service_class)
+            self._offer(next(classes))
         self._admission_closed = True
+
+    def _offer(self, service_class: str, attempt: int = 0) -> None:
+        """One request through the admission door (arrival or retry)."""
+        index = self.offered
+        request = AdmissionRequest(
+            index=index,
+            now_us=self.engine.now,
+            service_class=service_class,
+            inflight=(
+                self.admitted - self.completed - self.failed - self.retried
+            ),
+            offered=self.offered,
+            admitted=self.admitted,
+            shed=self.shed,
+        )
+        self.offered += 1
+        self.offered_by_class[service_class] = (
+            self.offered_by_class.get(service_class, 0) + 1
+        )
+        if not self.admission.admit(request):
+            self.shed += 1
+            self.shed_by_class[service_class] = (
+                self.shed_by_class.get(service_class, 0) + 1
+            )
+            if self.scoreboard is not None:
+                self.scoreboard.record_shed(service_class)
+            return
+        slot = self.admitted
+        self.admitted += 1
+        self.admitted_by_class[service_class] = (
+            self.admitted_by_class.get(service_class, 0) + 1
+        )
+        self._conns[slot % self.connections].admit(
+            index, service_class, attempt
+        )
 
     # -- completion accounting ----------------------------------------------
 
     def _on_response(
-        self, admitted_us: float, service_class: str, message
+        self, admitted_us: float, service_class: str, attempt: int, message
     ) -> None:
         latency = self.engine.now - admitted_us
+        if (
+            self.retry_after_us is not None
+            and latency > self.retry_after_us
+            and attempt < self.max_retries
+        ):
+            # Impatient client: the response is discarded (not a
+            # completion, not a latency sample) and the request goes
+            # back through the admission door — the metastable loop.
+            self.retried += 1
+            self.retried_by_class[service_class] = (
+                self.retried_by_class.get(service_class, 0) + 1
+            )
+            if self.scoreboard is not None:
+                self.scoreboard.record_retry(service_class)
+            self._offer(service_class, attempt + 1)
+            return
         self.completed += 1
         self.completed_by_class[service_class] = (
             self.completed_by_class.get(service_class, 0) + 1
@@ -578,20 +642,23 @@ class OpenLoopClients:
 
     @property
     def finished(self) -> bool:
-        """Every admitted request saw a response or a dead connection
-        (trace may cut offers short of ``n_requests`` — ``replay`` is
-        finite, and shed requests never went on the wire)."""
+        """Every admitted request saw a response, a dead connection, or
+        an impatient retry (which re-offered it — the chain is counted
+        attempt by attempt).  The trace may cut offers short of
+        ``n_requests`` — ``replay`` is finite, and shed requests never
+        went on the wire."""
         return (
             self._admission_closed
-            and self.completed + self.failed == self.admitted
+            and self.completed + self.failed + self.retried == self.admitted
         )
 
     def admission_summary(self) -> Dict[str, Dict[str, float]]:
         """Client-side per-class admission outcome (plain numbers).
 
-        Every class that offered anything appears; ``completed + shed``
-        equals ``offered`` only once the run has drained (in-flight
-        requests are admitted but not yet completed).
+        Every class that offered anything appears; ``admitted + shed``
+        equals ``offered`` always, and ``completed + failed + retried``
+        equals ``admitted`` once the run has drained (in-flight
+        requests are admitted but not yet resolved).
         """
         report: Dict[str, Dict[str, float]] = {}
         for name in self.offered_by_class:
@@ -601,6 +668,7 @@ class OpenLoopClients:
                 "shed": self.shed_by_class.get(name, 0),
                 "completed": self.completed_by_class.get(name, 0),
                 "failed": self.failed_by_class.get(name, 0),
+                "retried": self.retried_by_class.get(name, 0),
                 "slo_misses": self.misses_by_class.get(name, 0),
             }
         return report
@@ -622,14 +690,21 @@ class _OpenConnection:
         self.host = host
         self.socket: Optional[TcpSocket] = None
         self.parser = pop.codec.parser()
-        #: Admission timestamps of requests in flight (or queued behind
-        #: the connect), oldest first.
+        #: (admitted_us, service_class, attempt) of requests in flight
+        #: (or queued behind the connect), oldest first.
         self.outstanding: deque = deque()
         #: Requests admitted before the connect completed.
         self._backlog: deque = deque()
+        self._connecting = False
+        #: Responses drained since the last (re)connect — the
+        #: ``conn-churn`` recycle clock.
+        self._served = 0
 
     def open(self) -> None:
+        self._connecting = True
+
         def connected(socket: TcpSocket) -> None:
+            self._connecting = False
             self.socket = socket
             socket.on_receive(self._on_data)
             socket.on_close(lambda: self._on_peer_close(socket))
@@ -646,7 +721,8 @@ class _OpenConnection:
         Requests already on the wire are gone — any response would have
         arrived before the EOF (the simulated NIC delivers in order) —
         so everything outstanding is failed, not retried: an open-loop
-        client never re-offers, it only keeps the arrival clock honest.
+        client never re-offers on its own (only the ``retry-storm``
+        injector re-offers, and then only on a late *response*).
         """
         if socket is not self.socket:
             return  # stale close of an already-replaced connection
@@ -655,22 +731,48 @@ class _OpenConnection:
             socket.close()
         self._backlog.clear()
         while self.outstanding:
-            _admitted_us, service_class = self.outstanding.popleft()
+            _admitted_us, service_class, _attempt = self.outstanding.popleft()
             self.pop._on_failure(service_class)
         self.parser = self.pop.codec.parser()
+        self._served = 0
         if not self.pop._admission_closed:
             self.open()
 
-    def admit(self, index: int, service_class: str) -> None:
-        self.outstanding.append((self.pop.engine.now, service_class))
+    def admit(self, index: int, service_class: str, attempt: int = 0) -> None:
+        self.outstanding.append((self.pop.engine.now, service_class, attempt))
         payload = self.pop.codec.request_bytes(index)
         if self.socket is None:
             self._backlog.append(payload)
+            # A retry can land on a connection that died after admission
+            # closed (no auto-reconnect then) — reopen on demand or the
+            # backlog would never flush.
+            if not self._connecting:
+                self.open()
         else:
             self.socket.send(payload)
+
+    def _recycle(self) -> None:
+        """conn-churn: close the drained connection and start afresh."""
+        socket, self.socket = self.socket, None
+        self.parser = self.pop.codec.parser()
+        self._served = 0
+        self.pop.conn_cycles += 1
+        if socket is not None and not socket.closed:
+            socket.close()
+        self.open()
 
     def _on_data(self, data: bytes) -> None:
         self.parser.feed(data)
         for message in self.parser.messages():
-            admitted_us, service_class = self.outstanding.popleft()
-            self.pop._on_response(admitted_us, service_class, message)
+            admitted_us, service_class, attempt = self.outstanding.popleft()
+            self.pop._on_response(admitted_us, service_class, attempt, message)
+            self._served += 1
+        lifetime = self.pop.conn_lifetime_requests
+        if (
+            lifetime is not None
+            and self._served >= lifetime
+            and not self.outstanding
+            and not self.pop._admission_closed
+            and self.socket is not None
+        ):
+            self._recycle()

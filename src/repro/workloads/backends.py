@@ -4,11 +4,19 @@ The evaluation deploys 10 Apache web servers / 10 Memcached servers
 behind the middlebox; their own CPU is explicitly provisioned so they do
 not limit throughput, so these models respond after a small fixed service
 delay rather than contending for simulated cores.
+
+Fault injection (:mod:`repro.net.faults`) hooks in at two points shared
+by both servers via :class:`_FaultableBackend`: ``service_scale`` (a
+callable of the virtual clock multiplying the service delay — the
+``slow-backend`` injector) and ``set_up`` (up/down state that resets
+every accepted connection on the way down and refuses connects while
+down — the ``flapping-backend`` injector).  Both default to the
+fault-free behaviour the paper models.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.grammar.protocols import http
 from repro.grammar.protocols import memcached as mc
@@ -17,7 +25,57 @@ from repro.net.tcp import TcpNetwork, TcpSocket
 from repro.sim.engine import Engine
 
 
-class BackendWebServer:
+class _FaultableBackend:
+    """Shared up/down state + service-time scaling for backend models."""
+
+    def __init__(self, engine: Engine, service_us: float):
+        self.engine = engine
+        self.service_us = service_us
+        self.requests_served = 0
+        #: Fault hook: virtual-clock → service-time multiplier (``None``
+        #: = nominal service).  Set by the ``slow-backend`` injector.
+        self.service_scale: Optional[Callable[[float], float]] = None
+        #: Whether the server accepts and answers (``set_up`` flips it).
+        self.up = True
+        #: Connections reset by going down / refused while down.
+        self.connections_reset = 0
+        self._live_sockets: List[TcpSocket] = []
+
+    def _service_delay(self) -> float:
+        if self.service_scale is None:
+            return self.service_us
+        return self.service_us * self.service_scale(self.engine.now)
+
+    def _track(self, socket: TcpSocket) -> bool:
+        """Admit ``socket`` into the live set; reset it if down."""
+        if not self.up:
+            self.connections_reset += 1
+            socket.close()
+            return False
+        self._live_sockets.append(socket)
+        socket.on_close(lambda: self._forget(socket))
+        return True
+
+    def _forget(self, socket: TcpSocket) -> None:
+        try:
+            self._live_sockets.remove(socket)
+        except ValueError:
+            pass
+
+    def set_up(self, up: bool) -> None:
+        """Flip server availability; going down resets live connections."""
+        if up == self.up:
+            return
+        self.up = up
+        if not up:
+            live, self._live_sockets = self._live_sockets, []
+            for socket in live:
+                if not socket.closed:
+                    self.connections_reset += 1
+                    socket.close()
+
+
+class BackendWebServer(_FaultableBackend):
     """Responds to every HTTP request with a fixed payload."""
 
     def __init__(
@@ -29,14 +87,14 @@ class BackendWebServer:
         body: bytes = b"x" * 137,
         service_us: float = 15.0,
     ):
-        self.engine = engine
+        super().__init__(engine, service_us)
         self.host = host
         self.body = body
-        self.service_us = service_us
-        self.requests_served = 0
         tcpnet.listen(host, port, self._accept)
 
     def _accept(self, socket: TcpSocket) -> None:
+        if not self._track(socket):
+            return
         parser = http.HttpRequestParser()
 
         def on_data(data: bytes) -> None:
@@ -46,7 +104,7 @@ class BackendWebServer:
                 response = http.make_response(body=self.body)
                 close = not http.wants_keep_alive(request)
                 self.engine.schedule(
-                    self.service_us,
+                    self._service_delay(),
                     self._respond,
                     socket,
                     response.raw,
@@ -64,7 +122,7 @@ class BackendWebServer:
             socket.close()
 
 
-class BackendMemcachedServer:
+class BackendMemcachedServer(_FaultableBackend):
     """A Memcached server owning one shard of the key space.
 
     GETK requests are answered with a value derived from the key via
@@ -80,15 +138,15 @@ class BackendMemcachedServer:
         value_fn: Optional[Callable[[str], bytes]] = None,
         service_us: float = 8.0,
     ):
-        self.engine = engine
+        super().__init__(engine, service_us)
         self.host = host
         self.value_fn = value_fn or (lambda key: f"value-of-{key}".encode())
-        self.service_us = service_us
-        self.requests_served = 0
         self.store: Dict[str, bytes] = {}
         tcpnet.listen(host, port, self._accept)
 
     def _accept(self, socket: TcpSocket) -> None:
+        if not self._track(socket):
+            return
         parser = mc.full_codec().parser()
 
         def on_data(data: bytes) -> None:
@@ -96,7 +154,7 @@ class BackendMemcachedServer:
             for request in parser.messages():
                 self.requests_served += 1
                 self.engine.schedule(
-                    self.service_us, self._respond, socket, request
+                    self._service_delay(), self._respond, socket, request
                 )
 
         socket.on_receive(on_data)

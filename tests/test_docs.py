@@ -1,0 +1,83 @@
+"""Docs tests: generated registry inventory + intra-repo link integrity.
+
+``docs/registries.md`` is generated from the live registries
+(:mod:`repro.bench.registry_docs`); committing a stale copy would be
+documentation drift of exactly the kind generated docs exist to
+prevent, so the diff is a test.  The link checker keeps every relative
+link in ``README.md`` and ``docs/*.md`` pointing at a real file — the
+cheapest possible defence against renamed files orphaning the docs.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.registry_docs import (
+    REGISTRIES,
+    default_output_path,
+    render_markdown,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — target captured up to the closing paren.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_files():
+    return [REPO_ROOT / "README.md", *sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )]
+
+
+class TestGeneratedRegistryDoc:
+    def test_committed_doc_matches_live_registries(self):
+        committed = default_output_path().read_text(encoding="utf-8")
+        assert committed == render_markdown() + "\n", (
+            "docs/registries.md is stale; regenerate with "
+            "'PYTHONPATH=src python -m repro.bench.registry_docs'"
+        )
+
+    def test_all_six_registries_are_documented(self):
+        assert len(REGISTRIES) == 6
+        text = render_markdown()
+        for spec in REGISTRIES:
+            assert f"`{spec.module}`" in text
+
+    def test_every_registered_name_appears(self):
+        text = render_markdown()
+        for spec in REGISTRIES:
+            module = __import__(spec.module, fromlist=["_REGISTRY"])
+            for name in module._REGISTRY:
+                assert f"| `{name}` |" in text, (
+                    f"{spec.module} registers {name!r} but the generated "
+                    "doc does not list it"
+                )
+
+
+class TestIntraRepoLinks:
+    @pytest.mark.parametrize(
+        "doc", _doc_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_relative_links_resolve(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        broken = []
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, (
+            f"{doc.relative_to(REPO_ROOT)} has broken relative links: "
+            f"{broken}"
+        )
+
+    def test_readme_links_to_the_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for name in ("architecture.md", "scenarios.md", "registries.md"):
+            assert f"docs/{name}" in readme

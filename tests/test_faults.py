@@ -1,0 +1,223 @@
+"""Fault-injection tests: registry, determinism, conservation, the storm.
+
+The plane's load-bearing promises, each pinned here:
+
+* registry hygiene (sorted names, near-miss suggestions, bad-parameter
+  errors) matching the other five registries;
+* byte-determinism — the same seed produces an identical result with a
+  fault installed, and the parallel scenario runner stays
+  byte-identical to serial under faults;
+* conservation at both accounting doors for every registered injector:
+  ``admitted + shed == offered`` and
+  ``completed + failed + retried == admitted`` once the run drains;
+* the acceptance pair — the identical retry storm collapses under
+  ``cooperative`` + ``admit-all`` and stays inside its SLO under
+  ``deadline`` + ``shed-bronze``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.scenarios import (
+    _BY_NAME,
+    _validate_scenario,
+    run_scenario,
+    run_scenario_matrix,
+)
+from repro.bench.testbeds import run_http_experiment
+from repro.core.errors import ConfigError
+from repro.net.faults import (
+    FaultPolicy,
+    closest_fault_name,
+    make_fault,
+    registered_faults,
+    resolve_fault,
+    unknown_fault_message,
+)
+from repro.runtime.scheduler import TaskBase
+from repro.workloads.arrivals import make_arrival
+
+BUILTINS = ("conn-churn", "flapping-backend", "retry-storm", "slow-backend")
+
+
+class TestRegistry:
+    def test_builtin_faults_registered(self):
+        names = registered_faults()
+        assert names == tuple(sorted(names))
+        assert set(BUILTINS) <= set(names)
+        assert len(set(names)) == len(names)
+
+    def test_unknown_name_gets_near_miss_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            make_fault("retry-strom")
+        assert "unknown fault policy 'retry-strom'" in str(excinfo.value)
+        assert "did you mean 'retry-storm'?" in str(excinfo.value)
+        assert closest_fault_name("retry-strom") == "retry-storm"
+        assert "retry-storm" in unknown_fault_message("retry-strom")
+
+    def test_bad_parameters_name_the_fault(self):
+        with pytest.raises(ConfigError) as excinfo:
+            make_fault("retry-storm", nonsense=1)
+        assert "bad parameters for fault policy 'retry-storm'" in str(
+            excinfo.value
+        )
+
+    def test_resolve_accepts_instance_and_name(self):
+        fault = make_fault("conn-churn", lifetime_requests=4)
+        assert resolve_fault(fault) is fault
+        assert resolve_fault("conn-churn").name == "conn-churn"
+        with pytest.raises(ConfigError):
+            resolve_fault(42)
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_describe_and_params_are_json_plain(self, name):
+        fault = make_fault(name)
+        assert isinstance(fault.describe(), str) and name in fault.describe()
+        for value in fault.params().values():
+            assert isinstance(value, (int, float, str, bool, type(None)))
+
+
+def _fault_run(name, **kwargs):
+    """A small open-loop LB run with ``name`` installed, id-scoped so
+    repeat calls inside one test are comparable."""
+    TaskBase.reset_ids()
+    params = {"retry-storm": {"retry_after_us": 2_000.0, "max_retries": 3}}
+    return run_http_experiment(
+        "flick-kernel",
+        16,
+        mode="lb",
+        cores=4,
+        arrival=make_arrival("poisson", rate_rps=40_000.0),
+        total_requests=512,
+        slo_us=2_000.0,
+        faults=make_fault(name, **params.get(name, {})),
+        **kwargs,
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", registered_faults())
+    def test_both_doors_balance_for_every_registered_fault(self, name):
+        extra = _fault_run(name).extra
+        assert extra["admitted"] + extra["shed"] == extra["offered"]
+        assert (
+            extra["completed"] + extra["failed"] + extra["retried"]
+            == extra["admitted"]
+        )
+
+    @pytest.mark.parametrize("name", registered_faults())
+    def test_fault_counters_land_in_extra(self, name):
+        extra = _fault_run(name).extra
+        fault_keys = [k for k in extra if k.startswith("fault_")]
+        assert fault_keys, f"{name} reported no fault_* counters"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", registered_faults())
+    def test_same_seed_same_result(self, name):
+        first = dataclasses.asdict(_fault_run(name))
+        second = dataclasses.asdict(_fault_run(name))
+        assert first == second
+
+    def test_jobs_parallelism_is_byte_identical_under_faults(self):
+        selected = (
+            _BY_NAME["http-retry-storm-shed"],
+            _BY_NAME["memcached-conn-churn"],
+        )
+        serial = run_scenario_matrix(selected, quick=True, jobs=1)
+        parallel = run_scenario_matrix(selected, quick=True, jobs=2)
+        assert serial == parallel
+
+
+class TestScenarioValidation:
+    def test_fault_params_without_faults_rejected(self):
+        scenario = _BY_NAME["http-open-poisson"]._replace(
+            fault_params=(("max_retries", 3),)
+        )
+        with pytest.raises(ConfigError, match="fault_params without faults"):
+            _validate_scenario(scenario)
+
+    def test_fault_on_closed_loop_rejected(self):
+        scenario = _BY_NAME["http-overload-closed"]._replace(
+            faults="retry-storm"
+        )
+        with pytest.raises(ConfigError, match="open-loop"):
+            _validate_scenario(scenario)
+
+    def test_backend_fault_on_backendless_mode_rejected(self):
+        scenario = _BY_NAME["http-web-ramp"]._replace(
+            faults="flapping-backend"
+        )
+        with pytest.raises(ConfigError, match="mode='web' has none"):
+            _validate_scenario(scenario)
+
+    def test_fault_on_sharded_scenario_rejected(self):
+        scenario = _BY_NAME["http-fleet-scale-2"]._replace(
+            faults="retry-storm"
+        )
+        with pytest.raises(ConfigError, match="single-platform"):
+            _validate_scenario(scenario)
+
+    def test_unknown_fault_gets_near_miss(self):
+        scenario = _BY_NAME["http-open-poisson"]._replace(
+            faults="slow-backen"
+        )
+        with pytest.raises(ConfigError, match="did you mean 'slow-backend'"):
+            _validate_scenario(scenario)
+
+    def test_every_pinned_fault_scenario_validates(self):
+        for name, scenario in _BY_NAME.items():
+            if scenario.faults is not None:
+                _validate_scenario(scenario)
+
+
+class TestRetryStormAcceptance:
+    """The pinned pair: admission control breaks the metastable loop."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return {
+            name: run_scenario(_BY_NAME[name], quick=True)
+            for name in ("http-retry-storm", "http-retry-storm-shed")
+        }
+
+    def test_storm_amplifies_offered_load(self, pair):
+        storm = pair["http-retry-storm"]
+        # Every retry re-enters through the door: offered load far
+        # exceeds the arrival count, the amplification signature.
+        assert storm["retried"] > storm["requests"]
+        assert storm["offered"] == storm["requests"] + storm["retried"]
+
+    def test_shed_door_breaks_the_loop(self, pair):
+        storm = pair["http-retry-storm"]
+        shed = pair["http-retry-storm-shed"]
+        assert shed["retried"] < storm["retried"] / 4
+        assert shed["admission"]["shed"] > 0
+        assert shed["latency_ms"]["p99"] < storm["latency_ms"]["p99"] / 2
+        assert shed["slo"]["misses"] < storm["slo"]["misses"]
+        assert shed["throughput"] > storm["throughput"]
+
+    def test_entries_carry_the_faults_section(self, pair):
+        for entry in pair.values():
+            section = entry["faults"]
+            assert section["name"] == "retry-storm"
+            assert section["params"]["max_retries"] == 3
+            assert section["counters"]["retried"] == entry["retried"]
+
+    def test_per_class_retries_are_accounted(self, pair):
+        storm = pair["http-retry-storm"]
+        per_class = storm["admission"]["per_class"]
+        assert sum(c["retried"] for c in per_class.values()) == storm[
+            "retried"
+        ]
+
+
+class TestFaultPolicyBase:
+    def test_abstract_base_has_safe_defaults(self):
+        fault = FaultPolicy()
+        assert fault.population_kwargs() == {}
+        assert fault.counters() == {}
+        assert fault.params() == {}
+        assert fault.needs_backends is False
+        assert fault.tears_down_on_backend_close is False
